@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func resetFlags(t *testing.T) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	flag.CommandLine.SetOutput(io.Discard)
+}
+
+func TestDatagenWritesSelectedSets(t *testing.T) {
+	dir := t.TempDir()
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"datagen", "-out", dir, "-datasets", "Bal.,Tic."}
+	resetFlags(t)
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"bal.csv", "tic.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// Unselected sets must not appear.
+	if _, err := os.Stat(filepath.Join(dir, "car.csv")); err == nil {
+		t.Error("car.csv written although not selected")
+	}
+}
+
+func TestDatagenList(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"datagen", "-list"}
+	resetFlags(t)
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

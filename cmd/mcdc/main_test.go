@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resetFlags replaces the global FlagSet so run() can parse fresh arguments
+// in each test.
+func resetFlags(t *testing.T) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	flag.CommandLine.SetOutput(io.Discard)
+}
+
+func TestWriteLabels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeLabels(&buf, []int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := "object,cluster\n0,2\n1,0\n2,1\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloats(t *testing.T) {
+	if got := formatFloats([]float64{0.25, 0.75}); got != "[0.250 0.750]" {
+		t.Errorf("formatFloats = %q", got)
+	}
+}
+
+// TestRunEndToEnd drives the CLI's run() against a real CSV on disk.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	var rows strings.Builder
+	rows.WriteString("a,b,c,class\n")
+	for i := 0; i < 90; i++ {
+		switch i % 3 {
+		case 0:
+			rows.WriteString("x,1,p,c0\n")
+		case 1:
+			rows.WriteString("y,2,q,c1\n")
+		default:
+			rows.WriteString("z,3,r,c2\n")
+		}
+	}
+	if err := os.WriteFile(in, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "labels.csv")
+
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"mcdc", "-in", in, "-header", "-class", "3", "-k", "3", "-out", out}
+	resetFlags(t)
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("labels file: %v", err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 91 { // header + 90 objects
+		t.Errorf("labels file has %d lines, want 91", lines)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"mcdc"}
+	resetFlags(t)
+	if err := run(); err == nil {
+		t.Error("missing -in: want error")
+	}
+}

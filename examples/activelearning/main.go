@@ -1,0 +1,58 @@
+// Active learning: the paper's future-work direction (3) — use the
+// multi-granular cluster structure to slash expert labeling effort. A few
+// medoid queries per coarse cluster, propagated along the granularity
+// hierarchy, label the whole data set.
+//
+//	go run ./examples/activelearning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcdc"
+)
+
+func main() {
+	// An unlabeled corpus of 2000 objects with 4 latent classes.
+	ds := mcdc.SyntheticDataset("corpus", 2000, 10, 4, 5)
+	truth := ds.Labels
+	fmt.Printf("corpus: %d objects; an expert would label all of them by hand\n", ds.N())
+
+	mg, err := mcdc.Explore(ds, mcdc.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-granular analysis: kappa = %v\n", mg.Kappa)
+
+	// Ask for a tiny labeling budget: two queries per coarse cluster.
+	budget := 2 * mg.EstimatedK()
+	queries, err := mcdc.SelectQueries(ds, mg, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d objects to label (budget %d):\n", len(queries), budget)
+	for _, q := range queries {
+		fmt.Printf("  object %4d — medoid of a micro-cluster with %d members\n", q.Index, q.Weight)
+	}
+
+	// The "expert" answers from the hidden ground truth.
+	answers := make(map[int]int, len(queries))
+	for _, q := range queries {
+		answers[q.Index] = truth[q.Index]
+	}
+	pred, err := mcdc.PropagateLabels(ds, mg, answers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	fmt.Printf("propagated %d expert labels to %d objects: accuracy %.1f%%\n",
+		len(answers), ds.N(), 100*float64(correct)/float64(ds.N()))
+	fmt.Printf("labeling effort reduced by %.1f%%\n", 100*(1-float64(len(answers))/float64(ds.N())))
+}

@@ -1,0 +1,52 @@
+// Quickstart: cluster a categorical benchmark data set with MCDC and
+// evaluate against the ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcdc"
+)
+
+func main() {
+	// Generate the Vote benchmark (232 members of congress, 16 roll-call
+	// votes, 2 parties). Any CSV of qualitative features works the same way
+	// via mcdc.ReadCSVFile.
+	ds, err := mcdc.Builtin("Vot.", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data set:", ds)
+
+	// Step 1 — explore: MGCPL discovers the nested multi-granular cluster
+	// structure without being told a number of clusters.
+	mg, err := mcdc.Explore(ds, mcdc.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("granularities discovered: kappa = %v (estimate of k* = %d)\n",
+		mg.Kappa, mg.EstimatedK())
+
+	// Step 2 — cluster: the full MCDC pipeline aggregates the granularities
+	// into a final partition with the sought number of clusters.
+	res, err := mcdc.Cluster(ds, 2, mcdc.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := map[int]int{}
+	for _, l := range res.Labels {
+		sizes[l]++
+	}
+	fmt.Printf("final partition sizes: %v\n", sizes)
+	fmt.Printf("granularity importances theta: %.3f\n", res.Theta)
+
+	// Step 3 — evaluate against the known party labels.
+	sc, err := mcdc.Evaluate(ds.Labels, res.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ACC=%.3f ARI=%.3f AMI=%.3f FM=%.3f\n", sc.ACC, sc.ARI, sc.AMI, sc.FM)
+}

@@ -1,0 +1,64 @@
+package categorical
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ReadCSV parses a categorical data set from CSV. When hasHeader is true the
+// first record names the features. classCol selects the ground-truth label
+// column (use -1 for unlabeled data); missingToken marks missing values
+// ("" disables missing detection, "?" is the UCI convention).
+func ReadCSV(r io.Reader, name string, hasHeader bool, classCol int, missingToken string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	var header []string
+	if hasHeader {
+		header = records[0]
+		records = records[1:]
+	}
+	return FromStrings(name, header, records, classCol, missingToken)
+}
+
+// WriteCSV emits the data set as CSV with a header row. Ground-truth labels,
+// if present, are appended as a final "class" column.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.D()+1)
+	for _, f := range d.Features {
+		header = append(header, f.Name)
+	}
+	withClass := d.Labels != nil
+	if withClass {
+		header = append(header, "class")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.Rows {
+		for r, v := range row {
+			if v == Missing {
+				rec[r] = "?"
+			} else {
+				rec[r] = d.Features[r].Values[v]
+			}
+		}
+		if withClass {
+			rec[len(rec)-1] = fmt.Sprintf("c%d", d.Labels[i])
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// majorityAgreement maps each true cluster to its best-matching predicted
+// cluster and returns the covered fraction.
+func majorityAgreement(truth, pred []int, k int) float64 {
+	m := make(map[[2]int]int)
+	for i := range truth {
+		m[[2]int{truth[i], pred[i]}]++
+	}
+	correct := 0
+	for c := 0; c < k; c++ {
+		best := 0
+		for key, cnt := range m {
+			if key[0] == c && cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+// encFor builds a Γ-style encoding whose first column is pure noise and
+// whose second column perfectly encodes a 3-cluster structure.
+func encFor(n int, rng *rand.Rand) ([][]int, []int) {
+	enc := make([][]int, n)
+	truth := make([]int, n)
+	for i := range enc {
+		truth[i] = i % 3
+		enc[i] = []int{rng.Intn(5), truth[i]}
+	}
+	return enc, truth
+}
+
+func TestCAMERecoversAndWeighsInformativeColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	enc, truth := encFor(300, rng)
+	res, err := RunCAME(enc, CAMEConfig{K: 3, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partition should largely follow the informative column (CAME is a
+	// k-modes-family optimizer, so exact recovery from a random start is
+	// not guaranteed — majority agreement is).
+	agreement := majorityAgreement(truth, res.Labels, 3)
+	if agreement < 0.8 {
+		t.Errorf("majority agreement with informative column = %v, want ≥ 0.8", agreement)
+	}
+	// Θ must favour the informative column and stay a probability simplex.
+	var sum float64
+	for _, th := range res.Theta {
+		if th < 0 || th > 1 {
+			t.Errorf("theta outside [0,1]: %v", res.Theta)
+		}
+		sum += th
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("theta sums to %v, want 1", sum)
+	}
+	if res.Theta[1] <= res.Theta[0] {
+		t.Errorf("informative column should outweigh noise: theta = %v", res.Theta)
+	}
+}
+
+func TestCAMEFixedWeightsStaysUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	enc, _ := encFor(150, rng)
+	res, err := RunCAME(enc, CAMEConfig{K: 3, FixedWeights: true, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range res.Theta {
+		if math.Abs(th-0.5) > 1e-12 {
+			t.Errorf("fixed weights must stay 1/sigma: %v", res.Theta)
+		}
+	}
+}
+
+func TestCAMEErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RunCAME(nil, CAMEConfig{K: 2, Rand: rng}); err == nil {
+		t.Error("empty encoding: want error")
+	}
+	if _, err := RunCAME([][]int{{0}}, CAMEConfig{K: 0, Rand: rng}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := RunCAME([][]int{{0}}, CAMEConfig{K: 2}); err != ErrNoRand {
+		t.Error("nil rand: want ErrNoRand")
+	}
+	if _, err := RunCAME([][]int{{}}, CAMEConfig{K: 1, Rand: rng}); err == nil {
+		t.Error("zero-width encoding: want error")
+	}
+}
+
+func TestCAMEKClampedToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc := [][]int{{0}, {1}, {2}}
+	res, err := RunCAME(enc, CAMEConfig{K: 10, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 3 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+}
+
+func TestCompetitiveEliminatesRedundantClusters(t *testing.T) {
+	rows, card, _ := separated(300, 8, 2, 15)
+	g, err := RunCompetitive(rows, card, CompetitiveConfig{InitialK: 4, Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.K > 4 || g.K < 1 {
+		t.Errorf("competitive k = %d, want within [1,4]", g.K)
+	}
+	if len(g.Labels) != len(rows) {
+		t.Fatalf("labels length %d, want %d", len(g.Labels), len(rows))
+	}
+}
+
+func TestSimilarityPartitionKeepsK(t *testing.T) {
+	rows, card, truth := separated(300, 8, 3, 16)
+	g, err := RunSimilarityPartition(rows, card, SimilarityPartitionConfig{K: 3, Rand: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.K < 2 || g.K > 3 {
+		t.Errorf("partition k = %d, want ≈ 3", g.K)
+	}
+	_ = truth
+}
+
+func TestRunMCDCPipeline(t *testing.T) {
+	rows, card, truth := separated(450, 10, 3, 17)
+	res, err := RunMCDC(rows, card, MCDCConfig{
+		MGCPL: MGCPLConfig{Rand: rand.New(rand.NewSource(23))},
+		CAME:  CAMEConfig{K: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != len(rows) {
+		t.Fatalf("labels length %d", len(res.Labels))
+	}
+	if res.MGCPL == nil || res.CAME == nil {
+		t.Fatal("missing sub-results")
+	}
+	correct := 0
+	m := make(map[[2]int]int)
+	for i := range truth {
+		m[[2]int{truth[i], res.Labels[i]}]++
+	}
+	// Majority matching per true cluster ≥ 80%.
+	for c := 0; c < 3; c++ {
+		best, total := 0, 0
+		for key, cnt := range m {
+			if key[0] != c {
+				continue
+			}
+			total += cnt
+			if cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+		_ = total
+	}
+	if frac := float64(correct) / float64(len(truth)); frac < 0.8 {
+		t.Errorf("majority agreement = %v, want ≥ 0.8", frac)
+	}
+}

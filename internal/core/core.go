@@ -1,0 +1,6 @@
+// Package core implements the paper's primary contribution: the MGCPL
+// multi-granular competitive penalization learning algorithm (Algorithm 1),
+// the CAME cluster-aggregation strategy over MGCPL encodings (Algorithm 2),
+// the plain competitive-learning and similarity-partitioning baselines used
+// by the ablation study (Fig. 4), and the MCDC pipeline composing them.
+package core

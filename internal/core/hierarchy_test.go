@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHierarchyStructure(t *testing.T) {
+	rows, card, _ := separated(500, 8, 3, 33)
+	res, err := RunMGCPL(rows, card, MGCPLConfig{Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.BuildHierarchy()
+	if len(h.Roots) != res.Final().K {
+		t.Fatalf("roots = %d, want %d (coarsest clusters)", len(h.Roots), res.Final().K)
+	}
+	// Every non-coarsest node must have a parent one level up.
+	top := len(res.Levels) - 1
+	for i, n := range h.Nodes {
+		if n.Level == top {
+			if n.Parent != -1 {
+				t.Errorf("coarsest node %d has parent %d", i, n.Parent)
+			}
+			continue
+		}
+		if n.Parent < 0 {
+			t.Errorf("node %d (L%d c%d) has no parent", i, n.Level, n.Cluster)
+			continue
+		}
+		if h.Nodes[n.Parent].Level != n.Level+1 {
+			t.Errorf("node %d: parent on level %d, want %d", i, h.Nodes[n.Parent].Level, n.Level+1)
+		}
+	}
+	// Sizes at each level cover the whole data set.
+	for li, lv := range res.Levels {
+		total := 0
+		for c := 0; c < lv.K; c++ {
+			nd := h.Node(li, c)
+			if nd == nil {
+				t.Fatalf("missing node for level %d cluster %d", li, c)
+			}
+			total += nd.Size
+		}
+		if total != len(rows) {
+			t.Errorf("level %d sizes sum to %d, want %d", li, total, len(rows))
+		}
+	}
+	if h.Node(99, 0) != nil {
+		t.Error("Node(99,0) should be nil")
+	}
+}
+
+func TestHierarchyRender(t *testing.T) {
+	rows, card, _ := separated(200, 6, 2, 34)
+	res, err := RunMGCPL(rows, card, MGCPLConfig{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.BuildHierarchy().Render()
+	if !strings.Contains(out, "cluster 0") || !strings.Contains(out, "objects)") {
+		t.Errorf("render output unexpected:\n%s", out)
+	}
+	// Every level appears in the rendering.
+	for li := range res.Levels {
+		tag := "[L" + string(rune('1'+li)) + "]"
+		if li < 9 && !strings.Contains(out, tag) {
+			t.Errorf("render missing level tag %s:\n%s", tag, out)
+		}
+	}
+}
+
+func TestHierarchyEmptyResult(t *testing.T) {
+	h := (&MGCPLResult{}).BuildHierarchy()
+	if len(h.Nodes) != 0 || len(h.Roots) != 0 {
+		t.Error("empty result must produce an empty hierarchy")
+	}
+}

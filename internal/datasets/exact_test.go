@@ -1,0 +1,102 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestBalanceScaleExact(t *testing.T) {
+	d := BalanceScale()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	if d.N() != 625 || d.D() != 4 || d.NumClasses() != 3 {
+		t.Fatalf("got n=%d d=%d k=%d, want 625/4/3", d.N(), d.D(), d.NumClasses())
+	}
+	// Published distribution: L=288, B=49, R=288.
+	counts := make([]int, 3)
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	if counts[0] != 288 || counts[1] != 49 || counts[2] != 288 {
+		t.Fatalf("class counts = %v, want [288 49 288]", counts)
+	}
+}
+
+func TestTicTacToeExact(t *testing.T) {
+	d := TicTacToe()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	if d.N() != 958 {
+		t.Fatalf("n = %d, want 958 (UCI tic-tac-toe endgame size)", d.N())
+	}
+	if d.D() != 9 || d.NumClasses() != 2 {
+		t.Fatalf("got d=%d k=%d, want 9/2", d.D(), d.NumClasses())
+	}
+	pos := 0
+	for _, y := range d.Labels {
+		if y == 0 {
+			pos++
+		}
+	}
+	if pos != 626 {
+		t.Fatalf("positive (x wins) count = %d, want 626", pos)
+	}
+	// No duplicate boards.
+	seen := make(map[[9]int]bool, d.N())
+	for _, row := range d.Rows {
+		var b [9]int
+		copy(b[:], row)
+		if seen[b] {
+			t.Fatalf("duplicate board %v", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestCarEvaluationShape(t *testing.T) {
+	d := CarEvaluation()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	if d.N() != 1728 || d.D() != 6 || d.NumClasses() != 4 {
+		t.Fatalf("got n=%d d=%d k=%d, want 1728/6/4", d.N(), d.D(), d.NumClasses())
+	}
+	counts := make([]int, 4)
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	// Hard rules alone force ≥ 1152 unacc; published skew is ≈70%.
+	if frac := float64(counts[0]) / 1728; frac < 0.6 || frac > 0.8 {
+		t.Errorf("unacc fraction = %.3f, want ≈0.70 (counts %v)", frac, counts)
+	}
+	for c := 1; c < 4; c++ {
+		if counts[c] == 0 {
+			t.Errorf("class %d empty: %v", c, counts)
+		}
+	}
+}
+
+func TestNurseryShape(t *testing.T) {
+	d := Nursery()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	if d.N() != 12960 || d.D() != 8 || d.NumClasses() != 5 {
+		t.Fatalf("got n=%d d=%d k=%d, want 12960/8/5", d.N(), d.D(), d.NumClasses())
+	}
+	counts := make([]int, 5)
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	if counts[0] != 4320 {
+		t.Errorf("not_recom = %d, want exactly 4320 (health hard rule)", counts[0])
+	}
+	// priority and spec_prior dominate the remainder; recommend is marginal.
+	if counts[3] < 2000 || counts[4] < 2000 {
+		t.Errorf("priority/spec_prior too small: %v", counts)
+	}
+	if counts[1] > 1000 {
+		t.Errorf("recommend should be marginal, got %d", counts[1])
+	}
+}

@@ -1,0 +1,100 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mcdc/internal/categorical"
+)
+
+// logf wraps math.Log; split out so synthetic.go stays import-light.
+func logf(x float64) float64 { return math.Log(x) }
+
+// Info describes one entry of the paper's Table II.
+type Info struct {
+	Name  string // abbreviation used in the paper's tables
+	Full  string // descriptive name
+	D     int    // number of features
+	N     int    // number of objects
+	KStar int    // true number of clusters
+	Exact bool   // true when the generator reconstructs the set exactly
+	Gen   func(rng *rand.Rand) *categorical.Dataset
+}
+
+// Table2 lists the eight benchmark data sets of the paper's Table II in
+// order. (The two synthetic scalability sets are parameterized; see SynN and
+// SynD.)
+func Table2() []Info {
+	return []Info{
+		{Name: "Car.", Full: "Car Evaluation", D: 6, N: 1728, KStar: 4, Exact: true,
+			Gen: func(*rand.Rand) *categorical.Dataset { return CarEvaluation() }},
+		{Name: "Con.", Full: "Congressional", D: 16, N: 435, KStar: 2,
+			Gen: func(rng *rand.Rand) *categorical.Dataset { return Congressional(rng) }},
+		{Name: "Che.", Full: "Chess", D: 36, N: 3196, KStar: 2,
+			Gen: func(rng *rand.Rand) *categorical.Dataset { return Chess(rng) }},
+		{Name: "Mus.", Full: "Mushroom", D: 22, N: 8124, KStar: 2,
+			Gen: func(rng *rand.Rand) *categorical.Dataset { return Mushroom(rng) }},
+		{Name: "Tic.", Full: "Tic Tac Toe", D: 9, N: 958, KStar: 2, Exact: true,
+			Gen: func(*rand.Rand) *categorical.Dataset { return TicTacToe() }},
+		{Name: "Vot.", Full: "Vote", D: 16, N: 232, KStar: 2,
+			Gen: func(rng *rand.Rand) *categorical.Dataset { return Vote(rng) }},
+		{Name: "Bal.", Full: "Balance", D: 4, N: 625, KStar: 3, Exact: true,
+			Gen: func(*rand.Rand) *categorical.Dataset { return BalanceScale() }},
+		{Name: "Nur.", Full: "Nursery", D: 8, N: 12960, KStar: 5, Exact: true,
+			Gen: func(*rand.Rand) *categorical.Dataset { return Nursery() }},
+	}
+}
+
+// Load generates the named Table-II data set with the given seed. Names are
+// matched case-insensitively against the paper abbreviation ("Car.", "Bal.",
+// …, with or without the trailing dot) and the full name.
+func Load(name string, seed int64) (*categorical.Dataset, error) {
+	for _, info := range Table2() {
+		if matches(info, name) {
+			return info.Gen(rand.New(rand.NewSource(seed))), nil
+		}
+	}
+	return nil, fmt.Errorf("datasets: unknown data set %q (known: %v)", name, Names())
+}
+
+// Names returns the Table-II abbreviations in order.
+func Names() []string {
+	infos := Table2()
+	out := make([]string, len(infos))
+	for i, info := range infos {
+		out[i] = info.Name
+	}
+	return out
+}
+
+func matches(info Info, name string) bool {
+	norm := func(s string) string {
+		out := make([]rune, 0, len(s))
+		for _, c := range s {
+			switch {
+			case c >= 'A' && c <= 'Z':
+				out = append(out, c+'a'-'A')
+			case c == '.' || c == ' ' || c == '-' || c == '_':
+			default:
+				out = append(out, c)
+			}
+		}
+		return string(out)
+	}
+	n := norm(name)
+	return n == norm(info.Name) || n == norm(info.Full)
+}
+
+// ClassDistribution returns the sorted class sizes of a labelled data set,
+// useful in tests and dataset summaries.
+func ClassDistribution(d *categorical.Dataset) []int {
+	k := d.NumClasses()
+	counts := make([]int, k)
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}

@@ -1,0 +1,134 @@
+package datasets
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCongressionalShape(t *testing.T) {
+	d := Congressional(rand.New(rand.NewSource(1)))
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if d.N() != 435 || d.D() != 16 || d.NumClasses() != 2 {
+		t.Fatalf("n=%d d=%d k=%d, want 435/16/2", d.N(), d.D(), d.NumClasses())
+	}
+	counts := ClassDistribution(d)
+	if counts[0] != 267 || counts[1] != 168 {
+		t.Errorf("class sizes %v, want [267 168]", counts)
+	}
+	// Congressional includes the "u" (undecided) category.
+	if d.Features[0].Cardinality() != 3 {
+		t.Errorf("features should be {y,n,u}: %v", d.Features[0].Values)
+	}
+}
+
+func TestVoteShape(t *testing.T) {
+	d := Vote(rand.New(rand.NewSource(1)))
+	if d.N() != 232 || d.D() != 16 || d.NumClasses() != 2 {
+		t.Fatalf("n=%d d=%d k=%d, want 232/16/2", d.N(), d.D(), d.NumClasses())
+	}
+	if d.Features[0].Cardinality() != 2 {
+		t.Errorf("Vote is the complete-records variant, features should be {y,n}: %v", d.Features[0].Values)
+	}
+}
+
+func TestChessShape(t *testing.T) {
+	d := Chess(rand.New(rand.NewSource(1)))
+	if d.N() != 3196 || d.D() != 36 || d.NumClasses() != 2 {
+		t.Fatalf("n=%d d=%d k=%d, want 3196/36/2", d.N(), d.D(), d.NumClasses())
+	}
+}
+
+func TestMushroomShape(t *testing.T) {
+	d := Mushroom(rand.New(rand.NewSource(1)))
+	if d.N() != 8124 || d.D() != 22 || d.NumClasses() != 2 {
+		t.Fatalf("n=%d d=%d k=%d, want 8124/22/2", d.N(), d.D(), d.NumClasses())
+	}
+	counts := ClassDistribution(d)
+	// Published split is 51.8% / 48.2% ± label noise.
+	if frac := float64(counts[0]) / float64(d.N()); frac < 0.5 || frac > 0.58 {
+		t.Errorf("majority class fraction = %v, want ≈ 0.52", frac)
+	}
+}
+
+func TestSyntheticSeparation(t *testing.T) {
+	d := Synthetic("t", 300, 10, 3, 0.9, rand.New(rand.NewSource(2)))
+	if d.N() != 300 || d.D() != 10 || d.NumClasses() != 3 {
+		t.Fatalf("shape wrong: %s", d)
+	}
+	// Objects of the same class must agree on far more features than
+	// objects of different classes.
+	agree := func(a, b []int) int {
+		c := 0
+		for r := range a {
+			if a[r] == b[r] {
+				c++
+			}
+		}
+		return c
+	}
+	same, diff, ns, nd := 0, 0, 0, 0
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if d.Labels[i] == d.Labels[j] {
+				same += agree(d.Rows[i], d.Rows[j])
+				ns++
+			} else {
+				diff += agree(d.Rows[i], d.Rows[j])
+				nd++
+			}
+		}
+	}
+	if float64(same)/float64(ns) < 2*float64(diff)/float64(nd) {
+		t.Errorf("separation too weak: same=%v diff=%v", float64(same)/float64(ns), float64(diff)/float64(nd))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Load(name, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Load(name, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) || !reflect.DeepEqual(a.Labels, b.Labels) {
+			t.Errorf("%s: generation not deterministic for a fixed seed", name)
+		}
+	}
+}
+
+func TestLoadMatchesTable2(t *testing.T) {
+	for _, info := range Table2() {
+		ds, err := Load(info.Name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.N() != info.N || ds.D() != info.D || ds.NumClasses() != info.KStar {
+			t.Errorf("%s: got n=%d d=%d k=%d, Table II says n=%d d=%d k*=%d",
+				info.Name, ds.N(), ds.D(), ds.NumClasses(), info.N, info.D, info.KStar)
+		}
+	}
+	if _, err := Load("nope", 1); err == nil {
+		t.Error("unknown name: want error")
+	}
+	// Full names and case variations resolve too.
+	if _, err := Load("balance", 1); err != nil {
+		t.Errorf("full-name lookup failed: %v", err)
+	}
+}
+
+func TestSynNAndSynD(t *testing.T) {
+	n := SynN(5000, rand.New(rand.NewSource(3)))
+	if n.N() != 5000 || n.D() != 10 || n.NumClasses() != 3 {
+		t.Errorf("SynN shape: %s", n)
+	}
+	d := SynD(200, rand.New(rand.NewSource(4)))
+	if d.N() != 20000 || d.D() != 200 || d.NumClasses() != 3 {
+		t.Errorf("SynD shape: %s", d)
+	}
+}

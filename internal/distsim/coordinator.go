@@ -1,0 +1,197 @@
+package distsim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Coordinator owns a shard queue derived from a Placement and serves it to
+// connecting workers over TCP. Each worker connection is a simple
+// task/result loop; if a connection drops mid-task, the shard is re-queued
+// for another worker, so the job completes as long as at least one worker
+// keeps connecting.
+type Coordinator struct {
+	rows [][]int
+	card []int
+
+	listener net.Listener
+	queue    chan Shard
+	results  chan ShardStats
+
+	mu        sync.Mutex
+	remaining int
+	collected []ShardStats
+
+	done chan struct{} // closed when all shards completed
+	quit chan struct{} // closed by Close to stop the accept loop
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator prepares a coordinator serving the placement's shards over
+// the given data set rows.
+func NewCoordinator(rows [][]int, cardinalities []int, plan *Placement) (*Coordinator, error) {
+	if plan == nil || len(plan.Shards) == 0 {
+		return nil, errors.New("distsim: empty placement")
+	}
+	c := &Coordinator{
+		rows:      rows,
+		card:      cardinalities,
+		queue:     make(chan Shard, len(plan.Shards)),
+		results:   make(chan ShardStats, len(plan.Shards)),
+		remaining: len(plan.Shards),
+		done:      make(chan struct{}),
+		quit:      make(chan struct{}),
+	}
+	for _, s := range plan.Shards {
+		c.queue <- s
+	}
+	return c, nil
+}
+
+// Start begins listening on a loopback port and returns the address workers
+// should dial.
+func (c *Coordinator) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("distsim: listen: %w", err)
+	}
+	c.listener = ln
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.collectLoop()
+	return ln.Addr().String(), nil
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.serveWorker(conn)
+	}
+}
+
+func (c *Coordinator) collectLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case st := <-c.results:
+			c.mu.Lock()
+			c.collected = append(c.collected, st)
+			c.remaining--
+			finished := c.remaining == 0
+			c.mu.Unlock()
+			if finished {
+				close(c.done)
+				return
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// serveWorker runs the task/result loop for one worker connection.
+func (c *Coordinator) serveWorker(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	for {
+		var shard Shard
+		select {
+		case shard = <-c.queue:
+		case <-c.done:
+			_ = enc.Encode(message{Kind: kindDone})
+			return
+		case <-c.quit:
+			_ = enc.Encode(message{Kind: kindDone})
+			return
+		}
+		task := message{Kind: kindTask, ShardID: shard.ID, Cardinalities: c.card}
+		task.Rows = make([][]int, 0, len(shard.Objects))
+		for _, i := range shard.Objects {
+			task.Rows = append(task.Rows, c.rows[i])
+		}
+		if err := enc.Encode(task); err != nil {
+			c.requeue(shard)
+			return
+		}
+		var reply message
+		if err := dec.Decode(&reply); err != nil || reply.Kind != kindResult || reply.Stats.ShardID != shard.ID {
+			// Worker failed mid-task: give the shard to someone else.
+			c.requeue(shard)
+			return
+		}
+		select {
+		case c.results <- reply.Stats:
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+func (c *Coordinator) requeue(s Shard) {
+	select {
+	case c.queue <- s:
+	default:
+		// Queue capacity equals the shard count, so this cannot happen; the
+		// guard only avoids a theoretical deadlock.
+	}
+}
+
+// Wait blocks until every shard has been processed and returns the collected
+// per-shard statistics (in completion order).
+func (c *Coordinator) Wait() []ShardStats {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardStats, len(c.collected))
+	copy(out, c.collected)
+	return out
+}
+
+// Done exposes completion for select-based callers.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Close shuts the coordinator down and waits for its goroutines to exit.
+// It is safe to call after Wait or to abort early.
+func (c *Coordinator) Close() error {
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	var err error
+	if c.listener != nil {
+		err = c.listener.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// MergeStats combines per-shard statistics into fleet-wide per-feature
+// histograms — the aggregation a central server performs after the
+// distributed pass.
+func MergeStats(stats []ShardStats, cardinalities []int) ([][]int, int) {
+	freq := make([][]int, len(cardinalities))
+	for r, m := range cardinalities {
+		freq[r] = make([]int, m)
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Count
+		for r := range st.Freq {
+			for v, cnt := range st.Freq[r] {
+				freq[r][v] += cnt
+			}
+		}
+	}
+	return freq, total
+}

@@ -1,0 +1,222 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPlanPreservesLocalityAndBalances(t *testing.T) {
+	labels := make([]int, 1000)
+	for i := range labels {
+		labels[i] = i % 20 // 20 equal clusters
+	}
+	p, err := Plan(labels, 4)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if got := len(p.Shards); got != 20 {
+		t.Fatalf("shards = %d, want 20", got)
+	}
+	nodeOf := p.ObjectNodes(len(labels))
+	loss, err := LocalityLoss(labels, nodeOf, 4)
+	if err != nil {
+		t.Fatalf("LocalityLoss: %v", err)
+	}
+	if loss != 0 {
+		t.Errorf("locality loss = %v, want 0 (clusters must never be split)", loss)
+	}
+	if imb := p.Imbalance(); imb > 1.05 {
+		t.Errorf("imbalance = %v, want ≤ 1.05 for equal clusters", imb)
+	}
+}
+
+func TestPlanSkewedClusters(t *testing.T) {
+	// One giant cluster and many small ones.
+	labels := make([]int, 0, 1100)
+	for i := 0; i < 800; i++ {
+		labels = append(labels, 0)
+	}
+	for c := 1; c <= 30; c++ {
+		for i := 0; i < 10; i++ {
+			labels = append(labels, c)
+		}
+	}
+	p, err := Plan(labels, 3)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// The giant cluster dominates one node; the rest must share the others.
+	nonGiant := 0
+	for nd, load := range p.Load {
+		if load < 800 {
+			nonGiant++
+		} else if load != 800 {
+			t.Errorf("node %d load = %d, want exactly the giant cluster (800)", nd, load)
+		}
+	}
+	if nonGiant != 2 {
+		t.Errorf("expected 2 non-giant nodes, got %d (loads %v)", nonGiant, p.Load)
+	}
+}
+
+func TestRandomPlacementLosesLocality(t *testing.T) {
+	labels := make([]int, 500)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]int, len(labels))
+	for i := range random {
+		random[i] = rng.Intn(5)
+	}
+	loss, err := LocalityLoss(labels, random, 5)
+	if err != nil {
+		t.Fatalf("LocalityLoss: %v", err)
+	}
+	if loss < 0.7 {
+		t.Errorf("random placement locality loss = %v, want ≈ 1−1/nodes = 0.8", loss)
+	}
+}
+
+func TestNodeCatalogGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cat := NodeCatalog(200, 4, rng)
+	if err := cat.Validate(); err != nil {
+		t.Fatalf("invalid catalog: %v", err)
+	}
+	if cat.N() != 200 || cat.NumClasses() != 4 {
+		t.Fatalf("catalog n=%d classes=%d, want 200/4", cat.N(), cat.NumClasses())
+	}
+	// Perfect grouping scores 1.0; the identity labeling is perfect.
+	consistency, err := GroupConsistency(cat.Labels, cat.Labels)
+	if err != nil {
+		t.Fatalf("GroupConsistency: %v", err)
+	}
+	if consistency != 1 {
+		t.Errorf("self-consistency = %v, want 1", consistency)
+	}
+}
+
+// newTestJob builds a small data set, labeling, and placement.
+func newTestJob(t *testing.T, nodes int) ([][]int, []int, *Placement) {
+	t.Helper()
+	rows := make([][]int, 300)
+	labels := make([]int, len(rows))
+	rng := rand.New(rand.NewSource(7))
+	for i := range rows {
+		labels[i] = i % 12
+		rows[i] = []int{labels[i] % 4, rng.Intn(3), rng.Intn(3)}
+	}
+	p, err := Plan(labels, nodes)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	return rows, []int{4, 3, 3}, p
+}
+
+func TestCoordinatorWorkersComplete(t *testing.T) {
+	rows, card, plan := newTestJob(t, 3)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer coord.Close()
+
+	errs := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		go func() {
+			_, err := (&Worker{}).Run(addr)
+			errs <- err
+		}()
+	}
+	stats := coord.Wait()
+	if len(stats) != len(plan.Shards) {
+		t.Fatalf("collected %d shard stats, want %d", len(stats), len(plan.Shards))
+	}
+	freq, total := MergeStats(stats, card)
+	if total != len(rows) {
+		t.Errorf("merged count = %d, want %d", total, len(rows))
+	}
+	var sum int
+	for _, c := range freq[0] {
+		sum += c
+	}
+	if sum != len(rows) {
+		t.Errorf("feature-0 histogram mass = %d, want %d", sum, len(rows))
+	}
+	for w := 0; w < 3; w++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not finish")
+		}
+	}
+}
+
+func TestCoordinatorSurvivesWorkerFailure(t *testing.T) {
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer coord.Close()
+
+	// A flaky worker that quits after one shard, then a reliable one.
+	go func() { _, _ = (&Worker{MaxShards: 1}).Run(addr) }()
+	go func() { _, _ = (&Worker{}).Run(addr) }()
+
+	done := make(chan []ShardStats, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case stats := <-done:
+		if len(stats) != len(plan.Shards) {
+			t.Fatalf("collected %d shard stats, want %d", len(stats), len(plan.Shards))
+		}
+		_, total := MergeStats(stats, card)
+		if total != len(rows) {
+			t.Errorf("merged count = %d, want %d (every shard exactly once)", total, len(rows))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not complete after worker failure")
+	}
+}
+
+func TestCoordinatorEarlyClose(t *testing.T) {
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// A worker connects, then the job is aborted before completion. Close
+	// must terminate every goroutine without deadlocking, and the worker
+	// must come back (with or without an error, depending on timing).
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_, _ = (&Worker{MaxShards: 1}).Run(addr)
+	}()
+	<-workerDone
+	closed := make(chan error, 1)
+	go func() { closed <- coord.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked after early abort")
+	}
+}

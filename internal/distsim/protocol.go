@@ -1,0 +1,71 @@
+package distsim
+
+// Wire protocol between the coordinator and its workers. Every frame is one
+// gob-encoded message; Kind discriminates the payload.
+
+// messageKind discriminates protocol frames.
+type messageKind int
+
+const (
+	// kindTask carries a shard of work from coordinator to worker.
+	kindTask messageKind = iota + 1
+	// kindResult carries the shard statistics from worker to coordinator.
+	kindResult
+	// kindDone tells the worker no work remains.
+	kindDone
+)
+
+// message is the single frame type exchanged over the wire.
+type message struct {
+	Kind messageKind
+
+	// Task fields (coordinator → worker).
+	ShardID       int
+	Rows          [][]int
+	Cardinalities []int
+
+	// Result fields (worker → coordinator).
+	Stats ShardStats
+}
+
+// ShardStats is the per-shard analytics a worker computes: the object count,
+// the per-feature mode and the per-feature value histograms of the shard.
+// It is the local sufficient statistic a central server needs to refine or
+// merge clusters without moving the raw objects again.
+type ShardStats struct {
+	ShardID int
+	Count   int
+	Mode    []int
+	// Freq[r][v] counts shard objects with value v on feature r.
+	Freq [][]int
+}
+
+// computeStats derives ShardStats from raw shard rows.
+func computeStats(shardID int, rows [][]int, cardinalities []int) ShardStats {
+	st := ShardStats{
+		ShardID: shardID,
+		Count:   len(rows),
+		Mode:    make([]int, len(cardinalities)),
+		Freq:    make([][]int, len(cardinalities)),
+	}
+	for r, m := range cardinalities {
+		st.Freq[r] = make([]int, m)
+	}
+	for _, row := range rows {
+		for r, v := range row {
+			if v >= 0 && v < len(st.Freq[r]) {
+				st.Freq[r][v]++
+			}
+		}
+	}
+	for r := range st.Mode {
+		best, bestC := 0, -1
+		for v, c := range st.Freq[r] {
+			if c > bestC {
+				best, bestC = v, c
+			}
+		}
+		st.Mode[r] = best
+	}
+	return st
+}

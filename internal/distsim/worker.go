@@ -1,0 +1,49 @@
+package distsim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+)
+
+// Worker processes shards served by a Coordinator.
+type Worker struct {
+	// MaxShards, when positive, makes the worker exit (without error) after
+	// processing that many shards — used by tests to exercise the
+	// coordinator's failure-recovery path.
+	MaxShards int
+}
+
+// Run connects to the coordinator at addr and processes tasks until the
+// coordinator reports completion. It returns the number of shards processed.
+func (w *Worker) Run(addr string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("distsim: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	processed := 0
+	for {
+		var task message
+		if err := dec.Decode(&task); err != nil {
+			return processed, fmt.Errorf("distsim: receive task: %w", err)
+		}
+		switch task.Kind {
+		case kindDone:
+			return processed, nil
+		case kindTask:
+			stats := computeStats(task.ShardID, task.Rows, task.Cardinalities)
+			if err := enc.Encode(message{Kind: kindResult, Stats: stats}); err != nil {
+				return processed, fmt.Errorf("distsim: send result: %w", err)
+			}
+			processed++
+			if w.MaxShards > 0 && processed >= w.MaxShards {
+				return processed, nil
+			}
+		default:
+			return processed, fmt.Errorf("distsim: unexpected message kind %d", task.Kind)
+		}
+	}
+}

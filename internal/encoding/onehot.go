@@ -1,0 +1,174 @@
+// Package encoding implements the encoding-based stream of categorical data
+// clustering the paper's introduction surveys: qualitative values are mapped
+// into a numerical space (one-hot) and clustered there with k-means. It
+// serves as the reference point for the information-loss argument of the
+// paper — the Euclidean embedding cannot represent the discrete distance
+// structure, which is exactly what the multi-granular pipeline avoids.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mcdc/internal/categorical"
+)
+
+// OneHot expands integer-coded categorical rows into a dense one-hot matrix.
+// Missing values leave their feature's block all-zero.
+func OneHot(rows [][]int, cardinalities []int) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("encoding: empty data")
+	}
+	width := 0
+	offsets := make([]int, len(cardinalities))
+	for r, m := range cardinalities {
+		if m <= 0 {
+			return nil, fmt.Errorf("encoding: feature %d has cardinality %d", r, m)
+		}
+		offsets[r] = width
+		width += m
+	}
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		if len(row) != len(cardinalities) {
+			return nil, fmt.Errorf("encoding: row %d has %d features, want %d", i, len(row), len(cardinalities))
+		}
+		vec := make([]float64, width)
+		for r, v := range row {
+			if v == categorical.Missing {
+				continue
+			}
+			if v < 0 || v >= cardinalities[r] {
+				return nil, fmt.Errorf("encoding: row %d feature %d: code %d outside domain", i, r, v)
+			}
+			vec[offsets[r]+v] = 1
+		}
+		out[i] = vec
+	}
+	return out, nil
+}
+
+// KMeansConfig parameterizes the numerical clustering of the embedding.
+type KMeansConfig struct {
+	K        int
+	MaxIters int
+	Rand     *rand.Rand
+}
+
+// KMeans is a standard Lloyd's iteration over dense vectors with k-means++
+// seeding, provided as the downstream clusterer for one-hot embeddings.
+func KMeans(points [][]float64, cfg KMeansConfig) ([]int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("encoding: empty point set")
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("encoding: nil random source")
+	}
+	k := cfg.K
+	if k <= 0 {
+		return nil, fmt.Errorf("encoding: k must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	sqDist := func(a, b []float64) float64 {
+		var s float64
+		for j := range a {
+			d := a[j] - b[j]
+			s += d * d
+		}
+		return s
+	}
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), points[cfg.Rand.Intn(n)]...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			d2[i] = math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(p, c); dd < d2[i] {
+					d2[i] = dd
+				}
+			}
+			total += d2[i]
+		}
+		pick := 0
+		if total > 0 {
+			u := cfg.Rand.Float64() * total
+			for i := range d2 {
+				u -= d2[i]
+				if u <= 0 {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = cfg.Rand.Intn(n)
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+
+	labels := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, sqDist(p, centers[0])
+			for l := 1; l < k; l++ {
+				if dd := sqDist(p, centers[l]); dd < bestD {
+					best, bestD = l, dd
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		for l := range centers {
+			for j := range centers[l] {
+				centers[l][j] = 0
+			}
+		}
+		for i, p := range points {
+			l := labels[i]
+			counts[l]++
+			for j := range p {
+				centers[l][j] += p[j]
+			}
+		}
+		for l := range centers {
+			if counts[l] == 0 {
+				copy(centers[l], points[cfg.Rand.Intn(n)])
+				continue
+			}
+			inv := 1 / float64(counts[l])
+			for j := range centers[l] {
+				centers[l][j] *= inv
+			}
+		}
+	}
+	return labels, nil
+}
+
+// Cluster runs the full encoding-based pipeline: one-hot embedding followed
+// by k-means.
+func Cluster(rows [][]int, cardinalities []int, cfg KMeansConfig) ([]int, error) {
+	points, err := OneHot(rows, cardinalities)
+	if err != nil {
+		return nil, err
+	}
+	return KMeans(points, cfg)
+}

@@ -1,0 +1,87 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcdc/internal/categorical"
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+)
+
+func TestOneHotLayout(t *testing.T) {
+	rows := [][]int{
+		{0, 2},
+		{1, categorical.Missing},
+	}
+	vecs, err := OneHot(rows, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := []float64{1, 0, 0, 0, 1}
+	want1 := []float64{0, 1, 0, 0, 0} // missing block stays zero
+	for j := range want0 {
+		if vecs[0][j] != want0[j] || vecs[1][j] != want1[j] {
+			t.Fatalf("vecs = %v / %v, want %v / %v", vecs[0], vecs[1], want0, want1)
+		}
+	}
+}
+
+func TestOneHotErrors(t *testing.T) {
+	if _, err := OneHot(nil, nil); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := OneHot([][]int{{5}}, []int{2}); err == nil {
+		t.Error("out-of-domain code: want error")
+	}
+	if _, err := OneHot([][]int{{0, 0}}, []int{2}); err == nil {
+		t.Error("row width mismatch: want error")
+	}
+	if _, err := OneHot([][]int{{0}}, []int{0}); err == nil {
+		t.Error("zero cardinality: want error")
+	}
+}
+
+func TestEncodingPipelineRecovery(t *testing.T) {
+	ds := datasets.Synthetic("t", 400, 8, 3, 0.92, rand.New(rand.NewSource(80)))
+	best := 0.0
+	for seed := int64(0); seed < 5; seed++ {
+		labels, err := Cluster(ds.Rows, ds.Cardinalities(), KMeansConfig{K: 3, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := metrics.Accuracy(ds.Labels, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc > best {
+			best = acc
+		}
+	}
+	if best < 0.85 {
+		t.Errorf("best-of-5 one-hot k-means ACC = %v, want ≥ 0.85 on separated data", best)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, KMeansConfig{K: 2, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty points: want error")
+	}
+	if _, err := KMeans([][]float64{{0}}, KMeansConfig{K: 0, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := KMeans([][]float64{{0}}, KMeansConfig{K: 1}); err == nil {
+		t.Error("nil rand: want error")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 0}, {1, 0}, {1, 0}}
+	labels, err := KMeans(points, KMeansConfig{K: 2, Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"mcdc/internal/categorical"
+	"mcdc/internal/core"
+	"mcdc/internal/datasets"
+	"mcdc/internal/kmodes"
+	"mcdc/internal/metrics"
+	"mcdc/internal/stats"
+	"mcdc/internal/wocil"
+)
+
+func seededRand(base, offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(base*1_000_003 + offset))
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — ablation study.
+
+// AblationVersions lists the five pipeline variants of Fig. 4, strongest
+// first: MCDC, MCDC₄ (no CAME weight learning), MCDC₃ (no CAME), MCDC₂
+// (plain competitive learning, k*+2 init), MCDC₁ (similarity partitioning
+// with k* given).
+var AblationVersions = []string{"MCDC", "MCDC4", "MCDC3", "MCDC2", "MCDC1"}
+
+// Fig4 holds the mean ARI of each ablated version per data set.
+type Fig4 struct {
+	Datasets []string
+	Versions []string
+	// ARI[dataset][version]
+	ARI [][]float64
+}
+
+// RunAblation executes one ablated pipeline version on integer-coded rows.
+func RunAblation(version string, rows [][]int, card []int, kstar int, seed int64) ([]int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch version {
+	case "MCDC", "MCDC4":
+		res, err := core.RunMCDC(rows, card, core.MCDCConfig{
+			MGCPL: core.MGCPLConfig{Rand: rng},
+			CAME:  core.CAMEConfig{K: kstar, FixedWeights: version == "MCDC4"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Labels, nil
+	case "MCDC3":
+		mg, err := core.RunMGCPL(rows, card, core.MGCPLConfig{Rand: rng})
+		if err != nil {
+			return nil, err
+		}
+		return mg.Final().Labels, nil
+	case "MCDC2":
+		g, err := core.RunCompetitive(rows, card, core.CompetitiveConfig{InitialK: kstar + 2, Rand: rng})
+		if err != nil {
+			return nil, err
+		}
+		return g.Labels, nil
+	case "MCDC1":
+		g, err := core.RunSimilarityPartition(rows, card, core.SimilarityPartitionConfig{K: kstar, Rand: rng})
+		if err != nil {
+			return nil, err
+		}
+		return g.Labels, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown ablation version %q", version)
+	}
+}
+
+// RunFig4 reproduces the ablation study: mean ARI of the five versions over
+// `runs` seeded executions on each Table-II data set.
+func RunFig4(runs int, seed int64, names []string) (*Fig4, error) {
+	if runs <= 0 {
+		runs = 5
+	}
+	infos := datasets.Table2()
+	if names != nil {
+		var sel []datasets.Info
+		for _, want := range names {
+			for _, info := range infos {
+				if info.Name == want {
+					sel = append(sel, info)
+				}
+			}
+		}
+		infos = sel
+	}
+	out := &Fig4{Versions: AblationVersions}
+	for di, info := range infos {
+		ds := info.Gen(seededRand(seed, int64(di)))
+		out.Datasets = append(out.Datasets, info.Name)
+		row := make([]float64, len(AblationVersions))
+		for vi, version := range AblationVersions {
+			var samples []float64
+			for run := 0; run < runs; run++ {
+				labels, err := RunAblation(version, ds.Rows, ds.Cardinalities(), info.KStar, seed+int64(run*31+vi))
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s on %s: %w", version, info.Name, err)
+				}
+				ari, err := metrics.AdjustedRandIndex(ds.Labels, labels)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, ari)
+			}
+			row[vi] = round3(stats.Mean(samples))
+		}
+		out.ARI = append(out.ARI, row)
+	}
+	return out, nil
+}
+
+// Write renders the ablation comparison.
+func (f *Fig4) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-6s", "Data")
+	for _, v := range f.Versions {
+		fmt.Fprintf(w, " %8s", v)
+	}
+	fmt.Fprintln(w)
+	for di, ds := range f.Datasets {
+		fmt.Fprintf(w, "%-6s", ds)
+		for _, ari := range f.ARI[di] {
+			fmt.Fprintf(w, " %8.3f", ari)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — numbers of clusters learned by MGCPL.
+
+// Fig5 records, per data set, the κ trajectory of MGCPL (k at each stage of
+// convergence, starting from the initialization k₀) and the true k*.
+type Fig5 struct {
+	Datasets []string
+	K0       []int
+	Kappa    [][]int
+	KStar    []int
+}
+
+// RunFig5 reproduces the learning-process evaluation.
+func RunFig5(seed int64, names []string) (*Fig5, error) {
+	infos := datasets.Table2()
+	if names != nil {
+		var sel []datasets.Info
+		for _, want := range names {
+			for _, info := range infos {
+				if info.Name == want {
+					sel = append(sel, info)
+				}
+			}
+		}
+		infos = sel
+	}
+	out := &Fig5{}
+	for di, info := range infos {
+		ds := info.Gen(seededRand(seed, int64(di)))
+		cfg := core.MGCPLConfig{Rand: rand.New(rand.NewSource(seed + int64(di)))}
+		mg, err := core.RunMGCPL(ds.Rows, ds.Cardinalities(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 on %s: %w", info.Name, err)
+		}
+		out.Datasets = append(out.Datasets, info.Name)
+		out.K0 = append(out.K0, intSqrtCeil(ds.N()))
+		out.Kappa = append(out.Kappa, mg.Kappa())
+		out.KStar = append(out.KStar, info.KStar)
+	}
+	return out, nil
+}
+
+func intSqrtCeil(n int) int {
+	k := 0
+	for k*k < n {
+		k++
+	}
+	return k
+}
+
+// Write renders the κ trajectories.
+func (f *Fig5) Write(w io.Writer) {
+	fmt.Fprintln(w, "MGCPL convergence stages (k0 -> kappa; * marks true k*)")
+	for di, ds := range f.Datasets {
+		fmt.Fprintf(w, "%-6s k0=%-4d kappa=%v  k*=%d\n", ds, f.K0[di], f.Kappa[di], f.KStar[di])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — computational efficiency.
+
+// TimingPoint is one measurement of a scalability sweep.
+type TimingPoint struct {
+	X       int // the swept parameter value (n, k, or d)
+	Seconds map[string]float64
+}
+
+// Fig6 holds one scalability sweep (time vs n, k, or d).
+type Fig6 struct {
+	Param  string
+	Points []TimingPoint
+}
+
+// timedMethods are the representative counterparts the efficiency plot
+// compares against MCDC (the heavyweight metric-learning and hierarchical
+// methods are omitted at these scales, as in the paper's Fig. 6 subset).
+func timedMethods() []string { return []string{"MCDC", "K-MODES", "WOCIL"} }
+
+// RunFig6N measures execution time on Syn_n with growing n (Fig. 6a).
+func RunFig6N(ns []int, seed int64) (*Fig6, error) {
+	if len(ns) == 0 {
+		ns = []int{20000, 60000, 100000, 140000, 200000}
+	}
+	out := &Fig6{Param: "n"}
+	for _, n := range ns {
+		ds := datasets.SynN(n, seededRand(seed, int64(n)))
+		p, err := timeAll(ds, 3, seed)
+		if err != nil {
+			return nil, err
+		}
+		p.X = n
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunFig6K measures execution time on Syn_n (fixed n) with growing sought k
+// (Fig. 6b).
+func RunFig6K(n int, ks []int, seed int64) (*Fig6, error) {
+	if n <= 0 {
+		n = 20000
+	}
+	if len(ks) == 0 {
+		ks = []int{500, 1500, 3000, 5000}
+	}
+	ds := datasets.SynN(n, seededRand(seed, 77))
+	out := &Fig6{Param: "k"}
+	for _, k := range ks {
+		p, err := timeAll(ds, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		p.X = k
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunFig6D measures execution time on Syn_d with growing d (Fig. 6c).
+func RunFig6D(dims []int, seed int64) (*Fig6, error) {
+	if len(dims) == 0 {
+		dims = []int{100, 300, 500, 1000}
+	}
+	out := &Fig6{Param: "d"}
+	for _, dim := range dims {
+		ds := datasets.SynD(dim, seededRand(seed, int64(dim)))
+		p, err := timeAll(ds, 3, seed)
+		if err != nil {
+			return nil, err
+		}
+		p.X = dim
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+func timeAll(ds *categorical.Dataset, k int, seed int64) (TimingPoint, error) {
+	p := TimingPoint{Seconds: make(map[string]float64)}
+	for _, name := range timedMethods() {
+		start := time.Now()
+		var err error
+		switch name {
+		case "MCDC":
+			_, err = mcdcPipeline(ds, k, seed, nil)
+		case "K-MODES":
+			_, err = kmodes.Run(ds.Rows, ds.Cardinalities(), kmodes.Config{K: k, Rand: rand.New(rand.NewSource(seed))})
+		case "WOCIL":
+			_, err = wocil.Run(ds.Rows, ds.Cardinalities(), wocil.Config{K: k})
+		}
+		if err != nil {
+			return p, fmt.Errorf("fig6 %s: %w", name, err)
+		}
+		p.Seconds[name] = time.Since(start).Seconds()
+	}
+	return p, nil
+}
+
+// Write renders the sweep as a table of seconds.
+func (f *Fig6) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-8s", f.Param)
+	for _, m := range timedMethods() {
+		fmt.Fprintf(w, " %10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "%-8d", p.X)
+		for _, m := range timedMethods() {
+			fmt.Fprintf(w, " %9.2fs", p.Seconds[m])
+		}
+		fmt.Fprintln(w)
+	}
+}

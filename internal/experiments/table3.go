@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+	"mcdc/internal/stats"
+)
+
+// Cell is one mean±std entry of Table III.
+type Cell struct {
+	Mean, Std float64
+	// Failed marks runs the protocol judges as failed (the method could not
+	// produce the sought number of clusters); the paper reports 0.000 there.
+	Failed bool
+}
+
+// Table3 holds the clustering-performance comparison: scores indexed by
+// validity index, data set and method.
+type Table3 struct {
+	Indices  []string // ACC, ARI, AMI, FM
+	Datasets []string
+	Methods  []string
+	// Cells[index][dataset][method]
+	Cells [][][]Cell
+}
+
+// Table3Config controls the experiment protocol.
+type Table3Config struct {
+	Runs     int      // executions per (method, data set); paper uses 50
+	Seed     int64    // base seed
+	Datasets []string // subset of Table-II names; nil = all eight
+	Methods  []string // subset of method names; nil = all nine
+	Progress func(dataset, method string)
+}
+
+// RunTable3 executes the Table-III protocol: each method runs cfg.Runs times
+// per data set with the sought k = k*, and the mean and standard deviation
+// of ACC/ARI/AMI/FM are recorded.
+func RunTable3(cfg Table3Config) (*Table3, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 5
+	}
+	infos := datasets.Table2()
+	if cfg.Datasets != nil {
+		var sel []datasets.Info
+		for _, want := range cfg.Datasets {
+			found := false
+			for _, info := range infos {
+				if info.Name == want {
+					sel = append(sel, info)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("experiments: unknown data set %q", want)
+			}
+		}
+		infos = sel
+	}
+	methods := Methods()
+	if cfg.Methods != nil {
+		var sel []Method
+		for _, want := range cfg.Methods {
+			m, err := MethodByName(want)
+			if err != nil {
+				return nil, err
+			}
+			sel = append(sel, m)
+		}
+		methods = sel
+	}
+
+	t := &Table3{Indices: []string{"ACC", "ARI", "AMI", "FM"}}
+	for _, info := range infos {
+		t.Datasets = append(t.Datasets, info.Name)
+	}
+	for _, m := range methods {
+		t.Methods = append(t.Methods, m.Name)
+	}
+	t.Cells = make([][][]Cell, len(t.Indices))
+	for x := range t.Cells {
+		t.Cells[x] = make([][]Cell, len(infos))
+		for ds := range t.Cells[x] {
+			t.Cells[x][ds] = make([]Cell, len(methods))
+		}
+	}
+
+	for di, info := range infos {
+		ds := info.Gen(seededRand(cfg.Seed, int64(di)))
+		for mi, m := range methods {
+			if cfg.Progress != nil {
+				cfg.Progress(info.Name, m.Name)
+			}
+			runs := cfg.Runs
+			if m.Deterministic {
+				runs = 1
+			}
+			samples := make([][]float64, 4) // per index
+			failures := 0
+			for run := 0; run < runs; run++ {
+				seed := cfg.Seed + int64(1000*di+100*mi+run)
+				labels, err := m.Run(ds, info.KStar, seed)
+				if err != nil {
+					failures++
+					for x := range samples {
+						samples[x] = append(samples[x], 0)
+					}
+					continue
+				}
+				if distinct(labels) != info.KStar {
+					// Protocol of the paper: methods that cannot obtain the
+					// pre-set number of clusters are judged as failed.
+					failures++
+					for x := range samples {
+						samples[x] = append(samples[x], 0)
+					}
+					continue
+				}
+				sc, err := metrics.Evaluate(ds.Labels, labels)
+				if err != nil {
+					return nil, fmt.Errorf("evaluate %s on %s: %w", m.Name, info.Name, err)
+				}
+				for x, v := range []float64{sc.ACC, sc.ARI, sc.AMI, sc.FM} {
+					samples[x] = append(samples[x], v)
+				}
+			}
+			for x := range samples {
+				t.Cells[x][di][mi] = Cell{
+					Mean:   round3(stats.Mean(samples[x])),
+					Std:    round3(stats.StdDev(samples[x])),
+					Failed: failures == runs,
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// MethodScores returns, for one validity index, the per-dataset mean scores
+// of one method — the paired samples used by the Table-IV significance test.
+func (t *Table3) MethodScores(index, method string) ([]float64, error) {
+	xi, mi := -1, -1
+	for i, name := range t.Indices {
+		if name == index {
+			xi = i
+		}
+	}
+	for i, name := range t.Methods {
+		if name == method {
+			mi = i
+		}
+	}
+	if xi < 0 || mi < 0 {
+		return nil, fmt.Errorf("experiments: no cell for index %q method %q", index, method)
+	}
+	out := make([]float64, len(t.Datasets))
+	for di := range t.Datasets {
+		out[di] = t.Cells[xi][di][mi].Mean
+	}
+	return out, nil
+}
+
+// Write renders the table in the layout of the paper (index blocks × data
+// sets as rows, methods as columns), marking the best and second-best value
+// per row with * and ' respectively.
+func (t *Table3) Write(w io.Writer) {
+	for xi, index := range t.Indices {
+		fmt.Fprintf(w, "== %s ==\n", index)
+		fmt.Fprintf(w, "%-6s", "Data")
+		for _, m := range t.Methods {
+			fmt.Fprintf(w, " %14s", m)
+		}
+		fmt.Fprintln(w)
+		for di, ds := range t.Datasets {
+			best, second := bestTwo(t.Cells[xi][di])
+			fmt.Fprintf(w, "%-6s", ds)
+			for mi, c := range t.Cells[xi][di] {
+				mark := " "
+				if mi == best {
+					mark = "*"
+				} else if mi == second {
+					mark = "'"
+				}
+				fmt.Fprintf(w, " %s%6.3f±%-5.2f", mark, c.Mean, c.Std)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, strings.Repeat("-", 8+15*len(t.Methods)))
+	}
+}
+
+func bestTwo(cells []Cell) (best, second int) {
+	best, second = -1, -1
+	for i, c := range cells {
+		switch {
+		case best < 0 || c.Mean > cells[best].Mean:
+			second, best = best, i
+		case second < 0 || c.Mean > cells[second].Mean:
+			second = i
+		}
+	}
+	return best, second
+}
+
+func distinct(labels []int) int {
+	seen := make(map[int]bool)
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

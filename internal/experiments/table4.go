@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mcdc/internal/stats"
+)
+
+// Table4 reports the Wilcoxon signed-rank comparison of the best MCDC
+// variant (MCDC+F.) against each counterpart, per validity index: "+" when
+// MCDC+F. is significantly better at the 90% confidence level, "-" when no
+// significant difference is detected.
+type Table4 struct {
+	Champion string
+	Alpha    float64
+	Methods  []string
+	Indices  []string
+	// Significant[method][index]
+	Significant [][]bool
+	PValues     [][]float64
+}
+
+// RunTable4 derives the significance table from Table-III results, following
+// the paper's protocol: paired samples are the per-data-set mean scores,
+// tested with the two-tailed Wilcoxon signed-rank test at α = 0.1.
+func RunTable4(t3 *Table3) (*Table4, error) {
+	const champion = "MCDC+F."
+	out := &Table4{Champion: champion, Alpha: 0.1, Indices: t3.Indices}
+	for _, m := range t3.Methods {
+		if m == champion || m == "MCDC" || m == "MCDC+G." {
+			continue // the paper compares the champion against the six counterparts
+		}
+		out.Methods = append(out.Methods, m)
+	}
+	out.Significant = make([][]bool, len(out.Methods))
+	out.PValues = make([][]float64, len(out.Methods))
+	for mi, m := range out.Methods {
+		out.Significant[mi] = make([]bool, len(out.Indices))
+		out.PValues[mi] = make([]float64, len(out.Indices))
+		for xi, index := range out.Indices {
+			champ, err := t3.MethodScores(index, champion)
+			if err != nil {
+				return nil, err
+			}
+			other, err := t3.MethodScores(index, m)
+			if err != nil {
+				return nil, err
+			}
+			better, res, err := stats.SignificantlyGreater(champ, other, out.Alpha)
+			if err != nil {
+				return nil, err
+			}
+			out.Significant[mi][xi] = better
+			out.PValues[mi][xi] = res.PValue
+		}
+	}
+	return out, nil
+}
+
+// Write renders the table in the paper's layout.
+func (t *Table4) Write(w io.Writer) {
+	fmt.Fprintf(w, "Wilcoxon signed-rank, %s vs counterparts (two-tailed, α=%.1f)\n", t.Champion, t.Alpha)
+	fmt.Fprintf(w, "%-10s", "Method")
+	for _, idx := range t.Indices {
+		fmt.Fprintf(w, " %12s", idx)
+	}
+	fmt.Fprintln(w)
+	for mi, m := range t.Methods {
+		fmt.Fprintf(w, "%-10s", m)
+		for xi := range t.Indices {
+			mark := "-"
+			if t.Significant[mi][xi] {
+				mark = "+"
+			}
+			fmt.Fprintf(w, " %4s (p=%.2f)", mark, t.PValues[mi][xi])
+		}
+		fmt.Fprintln(w)
+	}
+}

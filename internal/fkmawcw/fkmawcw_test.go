@@ -1,0 +1,87 @@
+package fkmawcw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+)
+
+func TestMembershipRowsAreDistributions(t *testing.T) {
+	ds := datasets.Synthetic("t", 200, 6, 3, 0.9, rand.New(rand.NewSource(8)))
+	res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 3, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Membership {
+		var sum float64
+		for _, u := range row {
+			if u < -1e-12 || u > 1+1e-12 {
+				t.Fatalf("membership outside [0,1]: u[%d] = %v", i, row)
+			}
+			sum += u
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("membership row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestWeightSimplexes(t *testing.T) {
+	ds := datasets.Synthetic("t", 200, 6, 2, 0.9, rand.New(rand.NewSource(9)))
+	res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 2, Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, w := range res.AttrWeights {
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("attribute weights of cluster %d sum to %v", l, sum)
+		}
+	}
+	var cs float64
+	for _, c := range res.ClusterWeights {
+		cs += c
+	}
+	if math.Abs(cs-1) > 1e-6 {
+		t.Errorf("cluster weights sum to %v", cs)
+	}
+}
+
+func TestFuzzyRecovery(t *testing.T) {
+	ds := datasets.Synthetic("t", 400, 8, 2, 0.92, rand.New(rand.NewSource(10)))
+	best := 0.0
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 2, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := metrics.Accuracy(ds.Labels, res.Labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc > best {
+			best = acc
+		}
+	}
+	if best < 0.85 {
+		t.Errorf("best-of-5 ACC = %v, want ≥ 0.85", best)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(nil, nil, Config{K: 2, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := Run([][]int{{0}}, []int{1}, Config{K: -1, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("negative k: want error")
+	}
+	if _, err := Run([][]int{{0}}, []int{1}, Config{K: 1}); err == nil {
+		t.Error("nil rand: want error")
+	}
+}

@@ -1,0 +1,96 @@
+package gudmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+)
+
+func TestMetricProperties(t *testing.T) {
+	ds := datasets.Synthetic("t", 300, 6, 3, 0.9, rand.New(rand.NewSource(30)))
+	m, err := NewMetric(ds.Rows, ds.Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := ds.Cardinalities()
+	for r := 0; r < ds.D(); r++ {
+		for a := 0; a < card[r]; a++ {
+			if got := m.ValueDist(r, a, a); got != 0 {
+				t.Errorf("d(%d: %d,%d) = %v, want 0 on the diagonal", r, a, a, got)
+			}
+			for b := 0; b < card[r]; b++ {
+				ab, ba := m.ValueDist(r, a, b), m.ValueDist(r, b, a)
+				if ab != ba {
+					t.Errorf("metric not symmetric: d(%d,%d)=%v vs %v", a, b, ab, ba)
+				}
+				if ab < 0 || ab > 1+1e-9 {
+					t.Errorf("metric out of range: %v", ab)
+				}
+			}
+		}
+	}
+	// Feature weights form a simplex.
+	var sum float64
+	for _, w := range m.weight {
+		if w < 0 {
+			t.Errorf("negative feature weight: %v", m.weight)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("feature weights sum to %v", sum)
+	}
+}
+
+func TestMetricSeparatesCoupledValues(t *testing.T) {
+	// Feature 0's values 0/1 always co-occur with feature 1's values 0/1
+	// respectively; values 0 and 1 of feature 0 must be far apart.
+	rows := make([][]int, 100)
+	for i := range rows {
+		v := i % 2
+		rows[i] = []int{v, v}
+	}
+	m, err := NewMetric(rows, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ValueDist(0, 0, 1); got < 0.9 {
+		t.Errorf("perfectly coupled values: distance %v, want ≈ 1", got)
+	}
+}
+
+func TestGudmmRecovery(t *testing.T) {
+	ds := datasets.Synthetic("t", 400, 8, 2, 0.92, rand.New(rand.NewSource(31)))
+	best := 0.0
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 2, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := metrics.Accuracy(ds.Labels, res.Labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc > best {
+			best = acc
+		}
+	}
+	if best < 0.85 {
+		t.Errorf("best-of-5 ACC = %v, want ≥ 0.85", best)
+	}
+}
+
+func TestGudmmErrors(t *testing.T) {
+	if _, err := Run(nil, nil, Config{K: 2, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := NewMetric([][]int{{0}}, []int{2}); err == nil {
+		t.Error("single feature: want error (metric needs couplings)")
+	}
+	if _, err := Run([][]int{{0, 0}}, []int{1, 1}, Config{K: 1}); err == nil {
+		t.Error("nil rand: want error")
+	}
+}

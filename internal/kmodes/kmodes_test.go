@@ -1,0 +1,98 @@
+package kmodes
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcdc/internal/categorical"
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+)
+
+func TestHamming(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2, 3}, []int{1, 0, 3}, 1},
+		{[]int{0, 0}, []int{1, 1}, 2},
+		{[]int{categorical.Missing, 1}, []int{categorical.Missing, 1}, 1}, // missing never matches
+	}
+	for _, tc := range tests {
+		if got := Hamming(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hamming(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestKModesRecoversSeparatedClusters(t *testing.T) {
+	ds := datasets.Synthetic("t", 500, 8, 3, 0.92, rand.New(rand.NewSource(4)))
+	best := 0.0
+	// k-modes is init-sensitive; take the best of a few seeds as the paper
+	// protocol does with repeated runs.
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 3, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := metrics.Accuracy(ds.Labels, res.Labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc > best {
+			best = acc
+		}
+	}
+	if best < 0.9 {
+		t.Errorf("best-of-5 ACC = %v, want ≥ 0.9 on well-separated data", best)
+	}
+}
+
+func TestKModesCostConsistent(t *testing.T) {
+	ds := datasets.Synthetic("t", 200, 6, 3, 0.9, rand.New(rand.NewSource(5)))
+	res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 3, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reported cost must equal the recomputed assignment cost.
+	var want float64
+	for i, l := range res.Labels {
+		want += float64(Hamming(ds.Rows[i], res.Modes[l]))
+	}
+	if res.Cost != want {
+		t.Errorf("Cost = %v, recomputed %v", res.Cost, want)
+	}
+	// And each object must sit with its nearest mode.
+	for i, l := range res.Labels {
+		own := Hamming(ds.Rows[i], res.Modes[l])
+		for m := range res.Modes {
+			if d := Hamming(ds.Rows[i], res.Modes[m]); d < own {
+				t.Fatalf("object %d: mode %d at distance %d beats assigned %d at %d", i, m, d, l, own)
+			}
+		}
+	}
+}
+
+func TestKModesErrors(t *testing.T) {
+	if _, err := Run(nil, nil, Config{K: 2, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := Run([][]int{{0}}, []int{1}, Config{K: 0, Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Run([][]int{{0}}, []int{1}, Config{K: 1}); err == nil {
+		t.Error("nil rand: want error")
+	}
+}
+
+func TestKModesKGreaterThanN(t *testing.T) {
+	rows := [][]int{{0, 1}, {1, 0}}
+	res, err := Run(rows, []int{2, 2}, Config{K: 5, Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 2 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+}

@@ -1,0 +1,228 @@
+// Package linkage implements the agglomerative hierarchical-clustering
+// substrate discussed in the paper's related-work stream: single, complete
+// and average linkage over an arbitrary dissimilarity matrix, producing a
+// dendrogram that can be cut at any number of clusters. MGCPL is positioned
+// as the efficient alternative to this substrate; the package exists so the
+// comparison (and ROCK-style analyses) can be made concrete.
+package linkage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mcdc/internal/kmodes"
+)
+
+// Method selects the Lance–Williams update rule.
+type Method int
+
+const (
+	// Single links clusters by their closest member pair.
+	Single Method = iota + 1
+	// Complete links clusters by their farthest member pair.
+	Complete
+	// Average links clusters by the mean pairwise dissimilarity (UPGMA).
+	Average
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Merge records one agglomeration step: clusters A and B (node ids) joined at
+// the given dissimilarity height into node id Parent.
+type Merge struct {
+	A, B   int
+	Parent int
+	Height float64
+}
+
+// Dendrogram is the full merge tree over n leaves. Leaves are nodes 0..n-1;
+// internal nodes are n..2n-2 in merge order.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Build runs agglomerative clustering over a symmetric n×n dissimilarity
+// matrix with the given linkage method. O(n²) memory, O(n² log n) time via
+// nearest-neighbour arrays.
+func Build(dist [][]float64, method Method) (*Dendrogram, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, errors.New("linkage: empty dissimilarity matrix")
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return nil, fmt.Errorf("linkage: matrix not square at row %d", i)
+		}
+	}
+	if method != Single && method != Complete && method != Average {
+		return nil, fmt.Errorf("linkage: unknown method %v", method)
+	}
+
+	// Working copy; d[i][j] valid only for alive clusters.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = append([]float64(nil), dist[i]...)
+	}
+	alive := make([]bool, n)
+	size := make([]int, n)
+	node := make([]int, n) // dendrogram node id of working slot i
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		size[i] = 1
+		node[i] = i
+	}
+
+	den := &Dendrogram{N: n}
+	nextID := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest alive pair (simple O(n²) scan per step).
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if alive[j] && d[i][j] < best {
+					bi, bj, best = i, j, d[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		den.Merges = append(den.Merges, Merge{A: node[bi], B: node[bj], Parent: nextID, Height: best})
+		// Lance–Williams update into slot bi.
+		for m := 0; m < n; m++ {
+			if !alive[m] || m == bi || m == bj {
+				continue
+			}
+			switch method {
+			case Single:
+				d[bi][m] = math.Min(d[bi][m], d[bj][m])
+			case Complete:
+				d[bi][m] = math.Max(d[bi][m], d[bj][m])
+			case Average:
+				wi, wj := float64(size[bi]), float64(size[bj])
+				d[bi][m] = (wi*d[bi][m] + wj*d[bj][m]) / (wi + wj)
+			}
+			d[m][bi] = d[bi][m]
+		}
+		size[bi] += size[bj]
+		alive[bj] = false
+		node[bi] = nextID
+		nextID++
+	}
+	return den, nil
+}
+
+// Cut returns flat cluster labels for the partition into k clusters: the
+// state after n−k merges. Labels are dense 0..k'-1 (k' < k if the tree has
+// fewer merges than needed).
+func (den *Dendrogram) Cut(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	parent := make([]int, den.N+len(den.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	steps := den.N - k
+	if steps > len(den.Merges) {
+		steps = len(den.Merges)
+	}
+	for s := 0; s < steps; s++ {
+		m := den.Merges[s]
+		parent[find(m.A)] = m.Parent
+		parent[find(m.B)] = m.Parent
+	}
+	remap := make(map[int]int)
+	labels := make([]int, den.N)
+	for i := 0; i < den.N; i++ {
+		root := find(i)
+		l, ok := remap[root]
+		if !ok {
+			l = len(remap)
+			remap[root] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// Heights returns the merge heights in order, useful for monotonicity checks
+// and for locating "natural" cuts (large height gaps).
+func (den *Dendrogram) Heights() []float64 {
+	out := make([]float64, len(den.Merges))
+	for i, m := range den.Merges {
+		out[i] = m.Height
+	}
+	return out
+}
+
+// HammingMatrix builds the normalized Hamming dissimilarity matrix of a
+// categorical data set, the default input for hierarchical clustering of
+// qualitative features.
+func HammingMatrix(rows [][]int) [][]float64 {
+	n := len(rows)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dd := float64(kmodes.Hamming(rows[i], rows[j])) / float64(len(rows[i]))
+			out[i][j], out[j][i] = dd, dd
+		}
+	}
+	return out
+}
+
+// NaturalCut inspects the dendrogram's height sequence and returns the k
+// whose cut sits just below the largest height jump — a simple heuristic for
+// the "natural" number of clusters, bounded to [2, maxK].
+func (den *Dendrogram) NaturalCut(maxK int) int {
+	h := den.Heights()
+	if len(h) < 2 {
+		return 1
+	}
+	type gap struct {
+		idx  int
+		size float64
+	}
+	gaps := make([]gap, 0, len(h)-1)
+	for i := 1; i < len(h); i++ {
+		gaps = append(gaps, gap{idx: i, size: h[i] - h[i-1]})
+	}
+	sort.Slice(gaps, func(a, b int) bool { return gaps[a].size > gaps[b].size })
+	k := den.N - gaps[0].idx
+	if k < 2 {
+		k = 2
+	}
+	if maxK >= 2 && k > maxK {
+		k = maxK
+	}
+	return k
+}

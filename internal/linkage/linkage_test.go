@@ -1,0 +1,152 @@
+package linkage
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+)
+
+// chainMatrix: four points on a line at 0, 1, 3, 7.
+func chainMatrix() [][]float64 {
+	pos := []float64{0, 1, 3, 7}
+	n := len(pos)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if pos[i] > pos[j] {
+				d[i][j] = pos[i] - pos[j]
+			} else {
+				d[i][j] = pos[j] - pos[i]
+			}
+		}
+	}
+	return d
+}
+
+func TestSingleLinkageMergeOrder(t *testing.T) {
+	den, err := Build(chainMatrix(), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heights := den.Heights()
+	want := []float64{1, 2, 4} // 0-1 at 1, {01}-2 at 2, {012}-3 at 4
+	if !reflect.DeepEqual(heights, want) {
+		t.Errorf("single-linkage heights = %v, want %v", heights, want)
+	}
+}
+
+func TestCompleteLinkageMergeOrder(t *testing.T) {
+	den, err := Build(chainMatrix(), Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heights := den.Heights()
+	want := []float64{1, 3, 7} // farthest-pair heights
+	if !reflect.DeepEqual(heights, want) {
+		t.Errorf("complete-linkage heights = %v, want %v", heights, want)
+	}
+}
+
+func TestAverageLinkageBetweenSingleAndComplete(t *testing.T) {
+	m := chainMatrix()
+	s, _ := Build(m, Single)
+	a, _ := Build(m, Average)
+	c, _ := Build(m, Complete)
+	hs, ha, hc := s.Heights(), a.Heights(), c.Heights()
+	for i := range ha {
+		if ha[i] < hs[i]-1e-12 || ha[i] > hc[i]+1e-12 {
+			t.Errorf("average height %d = %v outside [single %v, complete %v]", i, ha[i], hs[i], hc[i])
+		}
+	}
+}
+
+func TestMonotonicHeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	n := 30
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	// Single, complete, and average linkage are all monotone (no Lance-
+	// Williams inversions).
+	for _, method := range []Method{Single, Complete, Average} {
+		den, err := Build(d, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := den.Heights()
+		if !sort.Float64sAreSorted(h) {
+			t.Errorf("%v linkage heights not monotone: %v", method, h)
+		}
+	}
+}
+
+func TestCutProducesRequestedClusters(t *testing.T) {
+	den, err := Build(chainMatrix(), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 4; k++ {
+		labels := den.Cut(k)
+		distinct := map[int]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != k {
+			t.Errorf("Cut(%d) produced %d clusters: %v", k, len(distinct), labels)
+		}
+	}
+	// Cut(2) must separate {0,1,2} from {3}.
+	labels := den.Cut(2)
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[2] == labels[3] {
+		t.Errorf("Cut(2) = %v, want {0,1,2} vs {3}", labels)
+	}
+}
+
+func TestHierarchicalOnCategoricalData(t *testing.T) {
+	ds := datasets.Synthetic("t", 150, 8, 3, 0.92, rand.New(rand.NewSource(51)))
+	den, err := Build(HammingMatrix(ds.Rows), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := den.Cut(3)
+	acc, err := metrics.Accuracy(ds.Labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("average-linkage ACC = %v, want ≥ 0.85 on separated data", acc)
+	}
+	if k := den.NaturalCut(10); k < 2 || k > 10 {
+		t.Errorf("NaturalCut = %d, want within [2,10]", k)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Single); err == nil {
+		t.Error("empty matrix: want error")
+	}
+	if _, err := Build([][]float64{{0, 1}}, Single); err == nil {
+		t.Error("non-square: want error")
+	}
+	if _, err := Build(chainMatrix(), Method(99)); err == nil {
+		t.Error("unknown method: want error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Single.String() != "single" || Complete.String() != "complete" || Average.String() != "average" {
+		t.Error("Method.String broken")
+	}
+}

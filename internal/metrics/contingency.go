@@ -1,0 +1,56 @@
+package metrics
+
+import "fmt"
+
+// contingency is the confusion table between two labelings together with its
+// marginals: cell[i][j] counts objects with true class i and predicted
+// cluster j.
+type contingency struct {
+	cell [][]int
+	a    []int // row sums (true-class sizes)
+	b    []int // column sums (cluster sizes)
+	n    int
+}
+
+// newContingency builds the contingency table of two equal-length labelings.
+// Labels must be dense non-negative integers (as produced by the clustering
+// algorithms in this repository).
+func newContingency(truth, pred []int) (*contingency, error) {
+	if len(truth) != len(pred) {
+		return nil, fmt.Errorf("metrics: labelings differ in length: %d vs %d", len(truth), len(pred))
+	}
+	if len(truth) == 0 {
+		return nil, fmt.Errorf("metrics: empty labelings")
+	}
+	maxOf := func(xs []int) int {
+		m := 0
+		for _, x := range xs {
+			if x < 0 {
+				return -1
+			}
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	kt, kp := maxOf(truth), maxOf(pred)
+	if kt < 0 || kp < 0 {
+		return nil, fmt.Errorf("metrics: labels must be non-negative")
+	}
+	c := &contingency{
+		cell: make([][]int, kt+1),
+		a:    make([]int, kt+1),
+		b:    make([]int, kp+1),
+		n:    len(truth),
+	}
+	for i := range c.cell {
+		c.cell[i] = make([]int, kp+1)
+	}
+	for idx := range truth {
+		c.cell[truth[idx]][pred[idx]]++
+		c.a[truth[idx]]++
+		c.b[pred[idx]]++
+	}
+	return c, nil
+}

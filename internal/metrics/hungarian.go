@@ -1,0 +1,87 @@
+// Package metrics implements the external cluster-validity indices used in
+// the paper's evaluation — Clustering Accuracy (ACC), Adjusted Rand Index
+// (ARI), Adjusted Mutual Information (AMI), Normalized Mutual Information
+// (NMI) and the Fowlkes–Mallows score (FM) — together with the Hungarian
+// assignment solver needed to compute ACC under the optimal label matching.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the square assignment problem: given an n×n cost matrix it
+// returns an assignment rowToCol minimizing total cost, and that cost. It
+// implements the O(n³) shortest-augmenting-path formulation (Jonker–Volgenant
+// style potentials).
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("metrics: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("metrics: cost matrix not square at row %d", i)
+		}
+	}
+	const inf = math.MaxFloat64
+	// 1-based potentials, as in the classical formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j]: row assigned to column j (0 = none)
+	way := make([]int, n+1) // back-pointers along the alternating path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0, j1 := p[j0], 0
+			delta := inf
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowToCol := make([]int, n)
+	var total float64
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return rowToCol, total, nil
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHungarianKnownCases(t *testing.T) {
+	tests := []struct {
+		name string
+		cost [][]float64
+		want float64
+	}{
+		{
+			name: "identity optimal",
+			cost: [][]float64{
+				{0, 5, 5},
+				{5, 0, 5},
+				{5, 5, 0},
+			},
+			want: 0,
+		},
+		{
+			name: "anti-diagonal optimal",
+			cost: [][]float64{
+				{9, 9, 1},
+				{9, 1, 9},
+				{1, 9, 9},
+			},
+			want: 3,
+		},
+		{
+			name: "classic 3x3",
+			cost: [][]float64{
+				{1, 2, 3},
+				{2, 4, 6},
+				{3, 6, 9},
+			},
+			want: 10, // 3 + 4 + 3
+		},
+		{
+			name: "single cell",
+			cost: [][]float64{{7}},
+			want: 7,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			assign, total, err := Hungarian(tc.cost)
+			if err != nil {
+				t.Fatalf("Hungarian: %v", err)
+			}
+			if math.Abs(total-tc.want) > 1e-9 {
+				t.Errorf("total = %v, want %v (assign %v)", total, tc.want, assign)
+			}
+			seen := make(map[int]bool)
+			for _, j := range assign {
+				if seen[j] {
+					t.Errorf("assignment not a permutation: %v", assign)
+				}
+				seen[j] = true
+			}
+		})
+	}
+}
+
+func TestHungarianRejectsBadInput(t *testing.T) {
+	if _, _, err := Hungarian(nil); err == nil {
+		t.Error("empty matrix: want error")
+	}
+	if _, _, err := Hungarian([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix: want error")
+	}
+}
+
+// bruteForceAssignment finds the optimal assignment by enumerating all
+// permutations (n ≤ 7).
+func bruteForceAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			var total float64
+			for i, j := range perm {
+				total += cost[i][j]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}
+
+// TestHungarianMatchesBruteForce is a randomized property test: the solver
+// must find the same optimum as exhaustive permutation search.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		_, got, err := Hungarian(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForceAssignment(cost)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d (n=%d): Hungarian = %v, brute force = %v\ncost=%v", trial, n, got, want, cost)
+		}
+	}
+}

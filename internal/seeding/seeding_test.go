@@ -1,0 +1,72 @@
+package seeding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDistinctRowsPrefersDistinct(t *testing.T) {
+	// 3 distinct patterns, many duplicates.
+	rows := [][]int{
+		{0, 0}, {0, 0}, {0, 0},
+		{1, 1}, {1, 1},
+		{2, 2},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		seeds := DistinctRows(rows, 3, rng)
+		if len(seeds) != 3 {
+			t.Fatalf("got %d seeds, want 3", len(seeds))
+		}
+		seen := map[[2]int]bool{}
+		for _, i := range seeds {
+			seen[[2]int{rows[i][0], rows[i][1]}] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("trial %d: seeds not pattern-distinct: %v", trial, seeds)
+		}
+	}
+}
+
+func TestDistinctRowsFallsBackToDuplicates(t *testing.T) {
+	rows := [][]int{{0}, {0}, {0}, {0}}
+	seeds := DistinctRows(rows, 3, rand.New(rand.NewSource(2)))
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3 even with duplicate rows", len(seeds))
+	}
+	idx := map[int]bool{}
+	for _, i := range seeds {
+		if idx[i] {
+			t.Fatalf("seed index repeated: %v", seeds)
+		}
+		idx[i] = true
+	}
+}
+
+func TestFarthestFirstSpreads(t *testing.T) {
+	// Three tight groups; farthest-first must pick one seed per group.
+	rows := [][]int{
+		{0, 0, 0, 0}, {0, 0, 0, 1},
+		{1, 1, 1, 1}, {1, 1, 1, 0},
+		{2, 2, 2, 2}, {2, 2, 2, 0},
+	}
+	group := func(i int) int { return rows[i][0] }
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		seeds := FarthestFirst(rows, 3, rng)
+		seen := map[int]bool{}
+		for _, i := range seeds {
+			seen[group(i)] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("trial %d: seeds not spread across groups: %v", trial, seeds)
+		}
+	}
+}
+
+func TestFarthestFirstClampsK(t *testing.T) {
+	rows := [][]int{{0}, {1}}
+	if got := len(FarthestFirst(rows, 10, rand.New(rand.NewSource(4)))); got != 2 {
+		t.Errorf("got %d seeds, want clamped to n=2", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package stream extends MCDC to dynamically distributed data — research
+// direction (2) of the paper's concluding remarks. A Clusterer maintains the
+// most recent window of a categorical object stream, serves per-object
+// cluster assignments online against the current multi-granular model, and
+// re-learns the model (a full MGCPL pass over the window) when the stream
+// drifts away from it or a refresh interval elapses.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"mcdc/internal/core"
+	"mcdc/internal/similarity"
+)
+
+// Config parameterizes a streaming clusterer.
+type Config struct {
+	// Cardinalities fixes the value-domain sizes of the stream's features.
+	Cardinalities []int
+	// WindowSize is the number of most recent objects kept for model
+	// re-learning (default 1000).
+	WindowSize int
+	// RefreshEvery re-learns the model after this many arrivals even
+	// without drift (default WindowSize).
+	RefreshEvery int
+	// DriftThreshold is the assignment-similarity level below which an
+	// arrival counts as poorly explained (default 0.2); DriftFraction of
+	// poorly explained arrivals since the last refresh triggers an early
+	// re-learning (default 0.3).
+	DriftThreshold float64
+	DriftFraction  float64
+	// MGCPL configures the underlying analysis; its Rand is required.
+	MGCPL core.MGCPLConfig
+}
+
+// Assignment reports where an arrival landed.
+type Assignment struct {
+	Cluster    int     // cluster id in the current model (stable between refreshes)
+	Similarity float64 // object–cluster similarity of the chosen cluster
+	ModelEpoch int     // increments every time the model is re-learned
+}
+
+// Clusterer is an online multi-granular clusterer over a categorical stream.
+// It is not safe for concurrent use; wrap it if multiple goroutines feed it.
+type Clusterer struct {
+	cfg    Config
+	window [][]int // ring buffer of recent objects
+	next   int     // ring cursor
+
+	tables     *similarity.Tables // frequency tables of the current model
+	k          int
+	epoch      int
+	sinceFresh int
+	drifted    int
+	kappa      []int
+}
+
+// NewClusterer builds a streaming clusterer. The model starts empty; the
+// first WindowSize arrivals are absorbed into a single provisional cluster
+// until the first re-learning happens.
+func NewClusterer(cfg Config) (*Clusterer, error) {
+	if len(cfg.Cardinalities) == 0 {
+		return nil, errors.New("stream: cardinalities required")
+	}
+	if cfg.MGCPL.Rand == nil {
+		return nil, core.ErrNoRand
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 1000
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = cfg.WindowSize
+	}
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = 0.2
+	}
+	if cfg.DriftFraction <= 0 {
+		cfg.DriftFraction = 0.3
+	}
+	return &Clusterer{cfg: cfg, window: make([][]int, 0, cfg.WindowSize)}, nil
+}
+
+// Kappa returns the granularity series of the current model (nil before the
+// first re-learning).
+func (c *Clusterer) Kappa() []int { return append([]int(nil), c.kappa...) }
+
+// ModelEpoch returns how many times the model has been re-learned.
+func (c *Clusterer) ModelEpoch() int { return c.epoch }
+
+// K returns the number of clusters in the current model (0 before the first
+// re-learning).
+func (c *Clusterer) K() int { return c.k }
+
+// Add ingests one object and returns its assignment under the current model.
+func (c *Clusterer) Add(row []int) (Assignment, error) {
+	if len(row) != len(c.cfg.Cardinalities) {
+		return Assignment{}, fmt.Errorf("stream: row has %d features, schema has %d", len(row), len(c.cfg.Cardinalities))
+	}
+	own := append([]int(nil), row...)
+	if len(c.window) < c.cfg.WindowSize {
+		c.window = append(c.window, own)
+	} else {
+		c.window[c.next] = own
+		c.next = (c.next + 1) % c.cfg.WindowSize
+	}
+	c.sinceFresh++
+
+	assign := Assignment{Cluster: 0, ModelEpoch: c.epoch}
+	if c.tables != nil {
+		best, bestSim := 0, -1.0
+		for l := 0; l < c.k; l++ {
+			if c.tables.Size(l) == 0 {
+				continue
+			}
+			// Probe similarity without mutating the model tables.
+			if s := c.probeSim(own, l); s > bestSim {
+				best, bestSim = l, s
+			}
+		}
+		assign.Cluster = best
+		assign.Similarity = bestSim
+		if bestSim < c.cfg.DriftThreshold {
+			c.drifted++
+		}
+	} else {
+		c.drifted++
+	}
+
+	needRefresh := c.sinceFresh >= c.cfg.RefreshEvery ||
+		(float64(c.drifted)/float64(c.sinceFresh) >= c.cfg.DriftFraction &&
+			c.sinceFresh >= c.cfg.WindowSize/4)
+	if needRefresh && len(c.window) >= 2 {
+		if err := c.relearn(); err != nil {
+			return assign, err
+		}
+		assign.ModelEpoch = c.epoch
+	}
+	return assign, nil
+}
+
+// probeSim computes the Eq. (1) similarity of an arbitrary (possibly
+// unseen) row to model cluster l.
+func (c *Clusterer) probeSim(row []int, l int) float64 {
+	var sum float64
+	for r, v := range row {
+		if v < 0 || v >= c.cfg.Cardinalities[r] || c.tables.Size(l) == 0 {
+			continue
+		}
+		sum += float64(c.tables.Count(l, r, v)) / float64(c.tables.Size(l))
+	}
+	return sum / float64(len(row))
+}
+
+// relearn runs MGCPL over the current window and rebuilds the model tables
+// from the coarsest partition.
+func (c *Clusterer) relearn() error {
+	res, err := core.RunMGCPL(c.window, c.cfg.Cardinalities, c.cfg.MGCPL)
+	if err != nil {
+		return fmt.Errorf("stream: relearn: %w", err)
+	}
+	final := res.Final()
+	tables, err := similarity.NewTables(c.window, c.cfg.Cardinalities, final.K)
+	if err != nil {
+		return fmt.Errorf("stream: rebuild tables: %w", err)
+	}
+	for i, l := range final.Labels {
+		tables.Add(i, l)
+	}
+	c.tables = tables
+	c.k = final.K
+	c.kappa = res.Kappa()
+	c.epoch++
+	c.sinceFresh = 0
+	c.drifted = 0
+	return nil
+}

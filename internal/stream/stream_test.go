@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcdc/internal/core"
+	"mcdc/internal/datasets"
+)
+
+func streamConfig(card []int, window int, seed int64) Config {
+	return Config{
+		Cardinalities: card,
+		WindowSize:    window,
+		MGCPL:         core.MGCPLConfig{Rand: rand.New(rand.NewSource(seed))},
+	}
+}
+
+func TestStationaryStreamStabilizes(t *testing.T) {
+	ds := datasets.Synthetic("t", 1200, 8, 3, 0.9, rand.New(rand.NewSource(60)))
+	c, err := NewClusterer(streamConfig(ds.Cardinalities(), 300, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastEpoch int
+	for i, row := range ds.Rows {
+		a, err := c.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == len(ds.Rows)-1 {
+			lastEpoch = a.ModelEpoch
+		}
+	}
+	if lastEpoch == 0 {
+		t.Fatal("model never learned")
+	}
+	if k := c.K(); k < 2 || k > 6 {
+		t.Errorf("model k = %d, want near the 3 planted clusters (kappa %v)", k, c.Kappa())
+	}
+	// After the model settles, same-cluster objects should be assigned
+	// together: feed a fresh batch from the same distribution and check
+	// that assignments align with the planted labels.
+	fresh := datasets.Synthetic("t", 300, 8, 3, 0.9, rand.New(rand.NewSource(60)))
+	agreement := make(map[[2]int]int)
+	for i, row := range fresh.Rows {
+		a, err := c.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agreement[[2]int{fresh.Labels[i], a.Cluster}]++
+	}
+	correct := 0
+	for truth := 0; truth < 3; truth++ {
+		best := 0
+		for key, cnt := range agreement {
+			if key[0] == truth && cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+	}
+	if frac := float64(correct) / float64(fresh.N()); frac < 0.75 {
+		t.Errorf("online assignment agreement = %v, want ≥ 0.75", frac)
+	}
+}
+
+func TestDriftTriggersRelearn(t *testing.T) {
+	rngA := rand.New(rand.NewSource(61))
+	phaseA := datasets.Synthetic("a", 400, 8, 2, 0.9, rngA)
+	c, err := NewClusterer(streamConfig(phaseA.Cardinalities(), 200, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range phaseA.Rows {
+		if _, err := c.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochAfterA := c.ModelEpoch()
+	if epochAfterA == 0 {
+		t.Fatal("phase A never learned a model")
+	}
+	// Phase B: a completely different distribution (different dominant
+	// values). The drift detector must force a re-learning well before the
+	// periodic refresh interval would.
+	phaseB := datasets.Synthetic("b", 400, 8, 4, 0.9, rand.New(rand.NewSource(987)))
+	relearned := false
+	for _, row := range phaseB.Rows {
+		a, err := c.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ModelEpoch > epochAfterA {
+			relearned = true
+			break
+		}
+	}
+	if !relearned {
+		t.Error("distribution shift did not trigger a model refresh")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := NewClusterer(Config{}); err == nil {
+		t.Error("missing cardinalities: want error")
+	}
+	if _, err := NewClusterer(Config{Cardinalities: []int{2}}); err == nil {
+		t.Error("missing rand: want error")
+	}
+	c, err := NewClusterer(streamConfig([]int{2, 2}, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add([]int{0}); err == nil {
+		t.Error("wrong row width: want error")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	c, err := NewClusterer(streamConfig([]int{2}, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Add([]int{i % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.window) != 4 {
+		t.Errorf("window holds %d objects, want 4", len(c.window))
+	}
+}

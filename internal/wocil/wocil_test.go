@@ -1,0 +1,70 @@
+package wocil
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcdc/internal/datasets"
+	"mcdc/internal/metrics"
+)
+
+func TestWocilDeterministic(t *testing.T) {
+	ds := datasets.Synthetic("t", 300, 8, 3, 0.9, rand.New(rand.NewSource(20)))
+	a, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Labels, b.Labels) {
+		t.Error("WOCIL must be deterministic (stable initialization)")
+	}
+}
+
+func TestWocilRecovery(t *testing.T) {
+	ds := datasets.Synthetic("t", 500, 8, 3, 0.92, rand.New(rand.NewSource(21)))
+	res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.Accuracy(ds.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("ACC = %v, want ≥ 0.9 with stable seeding", acc)
+	}
+}
+
+func TestWocilWeightsSimplex(t *testing.T) {
+	ds := datasets.Synthetic("t", 200, 6, 2, 0.9, rand.New(rand.NewSource(22)))
+	res, err := Run(ds.Rows, ds.Cardinalities(), Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, w := range res.Weights {
+		var sum float64
+		for _, x := range w {
+			if x < 0 {
+				t.Fatalf("negative weight in cluster %d: %v", l, w)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("cluster %d weights sum to %v", l, sum)
+		}
+	}
+}
+
+func TestWocilErrors(t *testing.T) {
+	if _, err := Run(nil, nil, Config{K: 2}); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := Run([][]int{{0}}, []int{1}, Config{K: 0}); err == nil {
+		t.Error("k=0: want error")
+	}
+}

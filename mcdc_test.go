@@ -1,0 +1,71 @@
+package mcdc_test
+
+import (
+	"testing"
+
+	"mcdc"
+)
+
+// TestClusterWellSeparated checks the headline behaviour: on a well-separated
+// synthetic data set MCDC recovers the planted clusters nearly perfectly and
+// MGCPL's final granularity lands at (or very near) the true k.
+func TestClusterWellSeparated(t *testing.T) {
+	ds := mcdc.SyntheticDataset("syn", 600, 10, 3, 7)
+	res, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(42))
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if len(res.Labels) != ds.N() {
+		t.Fatalf("got %d labels, want %d", len(res.Labels), ds.N())
+	}
+	acc, err := mcdc.Accuracy(ds.Labels, res.Labels)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if acc < 0.9 {
+		t.Errorf("ACC = %.3f on well-separated data, want ≥ 0.9", acc)
+	}
+	kappa := res.MultiGranular.Kappa
+	t.Logf("kappa = %v, ACC = %.3f", kappa, acc)
+	for j := 1; j < len(kappa); j++ {
+		if kappa[j] >= kappa[j-1] {
+			t.Errorf("kappa not strictly decreasing: %v", kappa)
+		}
+	}
+	if final := res.MultiGranular.EstimatedK(); final > 6 {
+		t.Errorf("final granularity k_σ = %d, want near true k = 3", final)
+	}
+}
+
+// TestDeterminism checks that a fixed seed reproduces the exact partition.
+func TestDeterminism(t *testing.T) {
+	ds := mcdc.SyntheticDataset("syn", 300, 8, 3, 11)
+	a, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(5))
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(5))
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels diverge at %d: %d vs %d", i, a.Labels[i], b.Labels[i])
+		}
+	}
+}
+
+func TestExploreEstimatesK(t *testing.T) {
+	ds := mcdc.SyntheticDataset("syn", 900, 12, 4, 3)
+	mg, err := mcdc.Explore(ds, mcdc.WithSeed(9))
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if got := mg.EstimatedK(); got < 2 || got > 8 {
+		t.Errorf("estimated k = %d, want near 4 (kappa %v)", got, mg.Kappa)
+	}
+	enc := mg.Encoding()
+	if len(enc) != ds.N() || len(enc[0]) != len(mg.Kappa) {
+		t.Errorf("encoding shape %dx%d, want %dx%d", len(enc), len(enc[0]), ds.N(), len(mg.Kappa))
+	}
+}

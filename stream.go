@@ -1,0 +1,62 @@
+package mcdc
+
+import (
+	"math/rand"
+
+	"mcdc/internal/core"
+	"mcdc/internal/stream"
+)
+
+// StreamAssignment reports where a streamed object landed: its cluster under
+// the current model, the similarity of that assignment, and the model epoch
+// (which increments whenever the model is re-learned).
+type StreamAssignment = stream.Assignment
+
+// StreamClusterer clusters an unbounded stream of categorical objects: each
+// Add returns an online assignment against the current multi-granular model,
+// and the model is re-learned from the recent window when the stream drifts
+// or a refresh interval passes. It extends MCDC to dynamic data, the paper's
+// second future-work direction. Not safe for concurrent use.
+type StreamClusterer struct {
+	inner *stream.Clusterer
+}
+
+// StreamConfig configures NewStreamClusterer.
+type StreamConfig struct {
+	// Cardinalities fixes the per-feature domain sizes of the stream.
+	Cardinalities []int
+	// WindowSize is the number of recent objects kept for re-learning
+	// (default 1000); RefreshEvery forces a periodic re-learning (default
+	// WindowSize).
+	WindowSize   int
+	RefreshEvery int
+	// Seed drives the underlying MGCPL analyses.
+	Seed int64
+}
+
+// NewStreamClusterer builds a streaming multi-granular clusterer.
+func NewStreamClusterer(cfg StreamConfig) (*StreamClusterer, error) {
+	inner, err := stream.NewClusterer(stream.Config{
+		Cardinalities: cfg.Cardinalities,
+		WindowSize:    cfg.WindowSize,
+		RefreshEvery:  cfg.RefreshEvery,
+		MGCPL:         core.MGCPLConfig{Rand: rand.New(rand.NewSource(cfg.Seed))},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamClusterer{inner: inner}, nil
+}
+
+// Add ingests one integer-coded object and returns its assignment.
+func (s *StreamClusterer) Add(row []int) (StreamAssignment, error) { return s.inner.Add(row) }
+
+// K returns the number of clusters in the current model (0 before the first
+// model is learned).
+func (s *StreamClusterer) K() int { return s.inner.K() }
+
+// Kappa returns the granularity series of the current model.
+func (s *StreamClusterer) Kappa() []int { return s.inner.Kappa() }
+
+// ModelEpoch returns how many times the model has been re-learned.
+func (s *StreamClusterer) ModelEpoch() int { return s.inner.ModelEpoch() }

@@ -1,0 +1,29 @@
+package mcdc
+
+import "mcdc/internal/metrics"
+
+// Scores bundles the four external validity indices of the paper's Table III.
+type Scores = metrics.Scores
+
+// Evaluate computes ACC, ARI, AMI and FM between a ground-truth labeling and
+// a predicted partition.
+func Evaluate(truth, pred []int) (Scores, error) { return metrics.Evaluate(truth, pred) }
+
+// Accuracy computes Clustering Accuracy under the optimal cluster-to-class
+// matching (Hungarian assignment). Range [0,1].
+func Accuracy(truth, pred []int) (float64, error) { return metrics.Accuracy(truth, pred) }
+
+// ARI computes the Adjusted Rand Index. Range [-1,1].
+func ARI(truth, pred []int) (float64, error) { return metrics.AdjustedRandIndex(truth, pred) }
+
+// AMI computes the Adjusted Mutual Information (arithmetic normalization,
+// exact expected-MI). Range ≈[-1,1].
+func AMI(truth, pred []int) (float64, error) { return metrics.AdjustedMutualInformation(truth, pred) }
+
+// NMI computes the Normalized Mutual Information (arithmetic normalization).
+// Range [0,1].
+func NMI(truth, pred []int) (float64, error) { return metrics.NormalizedMutualInformation(truth, pred) }
+
+// FowlkesMallows computes the FM score, the geometric mean of pairwise
+// precision and recall. Range [0,1].
+func FowlkesMallows(truth, pred []int) (float64, error) { return metrics.FowlkesMallows(truth, pred) }
