@@ -38,6 +38,7 @@ func run() error {
 		out      = flag.String("out", "", "write per-object labels to this CSV (default: stdout summary only)")
 		eta      = flag.Float64("eta", 0, "learning rate η (0 = paper default 0.03)")
 		k0       = flag.Int("k0", 0, "initial number of clusters k0 (0 = paper default √n)")
+		par      = flag.Int("parallel", 0, "worker goroutines (0 = all cores, 1 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -50,7 +51,7 @@ func run() error {
 	}
 	fmt.Printf("loaded %s\n", ds)
 
-	opts := []mcdc.Option{mcdc.WithSeed(*seed)}
+	opts := []mcdc.Option{mcdc.WithSeed(*seed), mcdc.WithParallelism(*par)}
 	if *eta > 0 {
 		opts = append(opts, mcdc.WithLearningRate(*eta))
 	}

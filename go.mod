@@ -1,0 +1,3 @@
+module mcdc
+
+go 1.22

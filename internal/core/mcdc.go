@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+
+	"mcdc/internal/parallel"
+)
 
 // DefaultRepeats is the default number of MGCPL repetitions whose
 // granularity columns are concatenated into the Γ encoding. A single run
@@ -34,20 +39,60 @@ type MCDCResult struct {
 // PooledEncoding runs MGCPL `repeats` times and concatenates the per-run
 // granularity columns into one encoding. The first run's full result is
 // returned alongside for inspection.
+//
+// The repeats are independent analyses, so they fan out across cfg.Workers
+// goroutines (≤ 0 → GOMAXPROCS, 1 → sequential). Determinism contract: one
+// sub-seed per repeat is drawn from cfg.Rand up front, in repeat order, and
+// each repeat runs on its own rand.Rand — cfg.Rand therefore advances by
+// exactly `repeats` draws and every repeat's stream is fixed by the master
+// seed alone, making the pooled encoding bit-for-bit identical at any
+// parallelism level. Columns are concatenated in repeat order.
 func PooledEncoding(rows [][]int, cardinalities []int, cfg MGCPLConfig, repeats int) ([][]int, *MGCPLResult, error) {
 	if repeats <= 0 {
 		repeats = DefaultRepeats
 	}
-	var enc [][]int
-	var first *MGCPLResult
-	for r := 0; r < repeats; r++ {
-		mg, err := RunMGCPL(rows, cardinalities, cfg)
+	if cfg.Rand == nil {
+		return nil, nil, ErrNoRand
+	}
+	seeds := make([]int64, repeats)
+	for r := range seeds {
+		seeds[r] = cfg.Rand.Int63()
+	}
+	// Split the worker budget between the repeat fan-out and each repeat's
+	// inner fan-outs, so the pipeline's total CPU-bound goroutines stay
+	// within the bound WithParallelism documents instead of multiplying to
+	// outer×inner. (Execution shape only — results are workers-independent.)
+	resolved := parallel.Resolve(cfg.Workers)
+	concurrent := repeats
+	if resolved < repeats {
+		concurrent = resolved
+	}
+	// Inner budget per repeat, with the division remainder handed out as one
+	// extra worker to the first repeats so no core idles when repeats does
+	// not divide the budget (at most `concurrent` repeats run at once, so
+	// the total never exceeds `resolved`).
+	innerWorkers := resolved / concurrent // ≥ 1 since resolved ≥ concurrent
+	extra := resolved % concurrent
+	results := make([]*MGCPLResult, repeats)
+	err := parallel.ForEach(concurrent, repeats, func(r int) error {
+		sub := cfg
+		sub.Rand = rand.New(rand.NewSource(seeds[r]))
+		sub.Workers = innerWorkers
+		if r < extra {
+			sub.Workers++
+		}
+		mg, err := RunMGCPL(rows, cardinalities, sub)
 		if err != nil {
-			return nil, nil, fmt.Errorf("mgcpl repeat %d: %w", r, err)
+			return fmt.Errorf("mgcpl repeat %d: %w", r, err)
 		}
-		if first == nil {
-			first = mg
-		}
+		results[r] = mg
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var enc [][]int
+	for _, mg := range results {
 		e := mg.Encoding()
 		if enc == nil {
 			enc = e
@@ -57,7 +102,7 @@ func PooledEncoding(rows [][]int, cardinalities []int, cfg MGCPLConfig, repeats 
 			enc[i] = append(enc[i], e[i]...)
 		}
 	}
-	return enc, first, nil
+	return enc, results[0], nil
 }
 
 // RunMCDC runs the pooled MGCPL analysis followed by CAME on integer-coded
@@ -70,6 +115,9 @@ func RunMCDC(rows [][]int, cardinalities []int, cfg MCDCConfig) (*MCDCResult, er
 	cameCfg := cfg.CAME
 	if cameCfg.Rand == nil {
 		cameCfg.Rand = cfg.MGCPL.Rand
+	}
+	if cameCfg.Workers == 0 {
+		cameCfg.Workers = cfg.MGCPL.Workers
 	}
 	ca, err := RunCAME(enc, cameCfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mcdc/internal/parallel"
 	"mcdc/internal/similarity"
 )
 
@@ -45,6 +46,15 @@ type MGCPLConfig struct {
 	// 0.85. (This resolves the elimination-strength ambiguity of the
 	// paper's Eq. (13); see DESIGN.md §2.)
 	RivalThreshold float64
+	// Workers bounds the parallelism of the order-independent parts of the
+	// learning (per-cluster feature-weight refreshes, and the fan-out of
+	// ensemble repeats in PooledEncoding). ≤ 0 resolves to GOMAXPROCS, 1 is
+	// fully sequential; results are bit-for-bit identical at any setting.
+	// The competitive-penalization object loop itself is inherently
+	// sequential — each presentation updates the state the next one reads —
+	// as is the epoch loop (each epoch inherits the previous epoch's k), so
+	// those stay single-threaded by design.
+	Workers int
 	// Rand drives seed selection. Required.
 	Rand *rand.Rand
 }
@@ -137,6 +147,8 @@ type mgcplState struct {
 	// rivalThreshold gates the rival penalty: only rivals whose similarity
 	// ratio to the winner exceeds it are treated as redundant and penalized.
 	rivalThreshold float64
+	// workers bounds the parallelism of the per-cluster weight refresh.
+	workers int
 }
 
 // weight returns u_l = 1/(1+e^(−10δ+5)), Eq. (11).
@@ -170,7 +182,7 @@ func RunMGCPL(rows [][]int, cardinalities []int, cfg MGCPLConfig) (*MGCPLResult,
 	result := &MGCPLResult{}
 	kInitial := c.InitialK
 	for epoch := 0; epoch < c.MaxEpochs; epoch++ {
-		st, err := newMGCPLState(rows, cardinalities, kInitial, c.LearningRate, c.RivalThreshold, c.Rand)
+		st, err := newMGCPLState(rows, cardinalities, kInitial, c.LearningRate, c.RivalThreshold, c.Rand, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +207,7 @@ func RunMGCPL(rows [][]int, cardinalities []int, cfg MGCPLConfig) (*MGCPLResult,
 	return result, nil
 }
 
-func newMGCPLState(rows [][]int, card []int, k int, eta, rivalThreshold float64, rng *rand.Rand) (*mgcplState, error) {
+func newMGCPLState(rows [][]int, card []int, k int, eta, rivalThreshold float64, rng *rand.Rand, workers int) (*mgcplState, error) {
 	tables, err := similarity.NewTables(rows, card, k)
 	if err != nil {
 		return nil, fmt.Errorf("mgcpl: %w", err)
@@ -213,6 +225,7 @@ func newMGCPLState(rows [][]int, card []int, k int, eta, rivalThreshold float64,
 		rivalThreshold: rivalThreshold,
 		order:          make([]int, n),
 		rng:            rng,
+		workers:        workers,
 	}
 	for i := range st.order {
 		st.order[i] = i
@@ -322,13 +335,7 @@ func (st *mgcplState) learnLevel(rows [][]int, maxIters int) error {
 			}
 		}
 		copy(st.g, st.gCur)
-		// Refresh per-cluster feature weights (Eq. 15–18).
-		for l := range st.omega {
-			if !st.alive[l] || st.tables.Size(l) == 0 {
-				continue
-			}
-			st.tables.FeatureWeights(l, st.omega[l])
-		}
+		st.refreshWeights()
 		// Clusters emptied this pass are out of the competition. Each
 		// elimination clears the guidance statistics of the survivors
 		// (g←0, δ←1, ω←1/d): the fight that killed the loser also battered
@@ -359,6 +366,21 @@ func (st *mgcplState) learnLevel(rows [][]int, maxIters int) error {
 		}
 	}
 	return nil
+}
+
+// refreshWeights recomputes the per-cluster feature weights (Eq. 15–18).
+// Each cluster's weights depend only on the (frozen) frequency tables and are
+// written to that cluster's own ω slice, so the clusters fan out across the
+// configured workers with bit-for-bit identical results at any parallelism.
+func (st *mgcplState) refreshWeights() {
+	workers := parallel.Gate(st.workers, len(st.omega)*st.tables.D())
+	parallel.Must(parallel.ForEach(workers, len(st.omega), func(l int) error {
+		if !st.alive[l] || st.tables.Size(l) == 0 {
+			return nil
+		}
+		st.tables.FeatureWeights(l, st.omega[l])
+		return nil
+	}))
 }
 
 // resetGuidance clears the learning statistics of the surviving clusters

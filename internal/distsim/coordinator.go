@@ -25,9 +25,11 @@ type Coordinator struct {
 	remaining int
 	collected []ShardStats
 
-	done chan struct{} // closed when all shards completed
-	quit chan struct{} // closed by Close to stop the accept loop
-	wg   sync.WaitGroup
+	done     chan struct{} // closed when all shards completed
+	quit     chan struct{} // closed by Close to stop the accept loop
+	quitOnce sync.Once     // guards quit/listener teardown against concurrent Close calls
+	closeErr error         // listener close result, written once inside quitOnce
+	wg       sync.WaitGroup
 }
 
 // NewCoordinator prepares a coordinator serving the placement's shards over
@@ -161,19 +163,20 @@ func (c *Coordinator) Wait() []ShardStats {
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
 // Close shuts the coordinator down and waits for its goroutines to exit.
-// It is safe to call after Wait or to abort early.
+// It is safe to call after Wait, to abort early, and to call concurrently or
+// repeatedly: the whole teardown runs exactly once (a bare check-then-close
+// of quit would panic when two callers raced past the check together, and
+// re-closing the listener would fabricate a net.ErrClosed for the losers),
+// and every caller returns the same result.
 func (c *Coordinator) Close() error {
-	select {
-	case <-c.quit:
-	default:
+	c.quitOnce.Do(func() {
 		close(c.quit)
-	}
-	var err error
-	if c.listener != nil {
-		err = c.listener.Close()
-	}
+		if c.listener != nil {
+			c.closeErr = c.listener.Close()
+		}
+	})
 	c.wg.Wait()
-	return err
+	return c.closeErr
 }
 
 // MergeStats combines per-shard statistics into fleet-wide per-feature

@@ -2,6 +2,7 @@ package distsim
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 )
@@ -218,5 +219,34 @@ func TestCoordinatorEarlyClose(t *testing.T) {
 	case <-closed:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Close deadlocked after early abort")
+	}
+}
+
+// TestCoordinatorConcurrentClose pins the shutdown path against racing
+// callers: Close from several goroutines at once must neither panic (a bare
+// check-then-close of the quit channel would) nor deadlock.
+func TestCoordinatorConcurrentClose(t *testing.T) {
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	if _, err := coord.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = coord.Close()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent Close deadlocked")
 	}
 }

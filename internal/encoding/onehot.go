@@ -13,11 +13,22 @@ import (
 	"math/rand"
 
 	"mcdc/internal/categorical"
+	"mcdc/internal/parallel"
 )
 
 // OneHot expands integer-coded categorical rows into a dense one-hot matrix.
-// Missing values leave their feature's block all-zero.
+// Missing values leave their feature's block all-zero. The expansion is
+// fanned out over all available cores; use OneHotWorkers to bound it.
 func OneHot(rows [][]int, cardinalities []int) ([][]float64, error) {
+	return OneHotWorkers(rows, cardinalities, 0)
+}
+
+// OneHotWorkers is OneHot with an explicit worker bound (≤ 0 → GOMAXPROCS,
+// 1 → sequential). Rows are expanded in workers-independent chunks, each
+// writing only its own output slots; on invalid input the returned error is
+// the one a sequential scan would hit first (lowest row index). The matrix is
+// identical at any parallelism level.
+func OneHotWorkers(rows [][]int, cardinalities []int, workers int) ([][]float64, error) {
 	if len(rows) == 0 {
 		return nil, errors.New("encoding: empty data")
 	}
@@ -31,21 +42,29 @@ func OneHot(rows [][]int, cardinalities []int) ([][]float64, error) {
 		width += m
 	}
 	out := make([][]float64, len(rows))
-	for i, row := range rows {
-		if len(row) != len(cardinalities) {
-			return nil, fmt.Errorf("encoding: row %d has %d features, want %d", i, len(row), len(cardinalities))
-		}
-		vec := make([]float64, width)
-		for r, v := range row {
-			if v == categorical.Missing {
-				continue
+	workers = parallel.Gate(workers, len(rows)*width)
+	err := parallel.ForEachChunk(workers, len(rows), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			if len(row) != len(cardinalities) {
+				return fmt.Errorf("encoding: row %d has %d features, want %d", i, len(row), len(cardinalities))
 			}
-			if v < 0 || v >= cardinalities[r] {
-				return nil, fmt.Errorf("encoding: row %d feature %d: code %d outside domain", i, r, v)
+			vec := make([]float64, width)
+			for r, v := range row {
+				if v == categorical.Missing {
+					continue
+				}
+				if v < 0 || v >= cardinalities[r] {
+					return fmt.Errorf("encoding: row %d feature %d: code %d outside domain", i, r, v)
+				}
+				vec[offsets[r]+v] = 1
 			}
-			vec[offsets[r]+v] = 1
+			out[i] = vec
 		}
-		out[i] = vec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

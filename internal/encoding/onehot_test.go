@@ -42,6 +42,50 @@ func TestOneHotErrors(t *testing.T) {
 	}
 }
 
+func TestOneHotWorkersEquivalence(t *testing.T) {
+	ds := datasets.Synthetic("t", 333, 7, 3, 0.9, rand.New(rand.NewSource(4)))
+	seq, err := OneHotWorkers(ds.Rows, ds.Cardinalities(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		par, err := OneHotWorkers(ds.Rows, ds.Cardinalities(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			for j := range seq[i] {
+				if seq[i][j] != par[i][j] {
+					t.Fatalf("workers=%d: cell (%d,%d) differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestOneHotWorkersFirstError(t *testing.T) {
+	// Rows 5 and 4800 are both invalid; any worker count must report row 5,
+	// the failure a sequential scan hits first. The input is sized well past
+	// the small-work gate (5000 rows × width 2 = 10000 cells ≥ 4096) so the
+	// workers=4 iteration genuinely dispatches parallel chunks instead of
+	// being gated onto the inline path.
+	rows := make([][]int, 5000)
+	for i := range rows {
+		rows[i] = []int{0}
+	}
+	rows[4800] = []int{9}
+	rows[5] = []int{7}
+	for _, workers := range []int{1, 4} {
+		_, err := OneHotWorkers(rows, []int{2}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		if want := "encoding: row 5 feature 0: code 7 outside domain"; err.Error() != want {
+			t.Errorf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
 func TestEncodingPipelineRecovery(t *testing.T) {
 	ds := datasets.Synthetic("t", 400, 8, 3, 0.92, rand.New(rand.NewSource(80)))
 	best := 0.0

@@ -12,7 +12,7 @@ import (
 	"math"
 	"sort"
 
-	"mcdc/internal/kmodes"
+	"mcdc/internal/similarity"
 )
 
 // Method selects the Lance–Williams update rule.
@@ -184,20 +184,17 @@ func (den *Dendrogram) Heights() []float64 {
 
 // HammingMatrix builds the normalized Hamming dissimilarity matrix of a
 // categorical data set, the default input for hierarchical clustering of
-// qualitative features.
+// qualitative features. The O(n²) computation is row-chunked across all
+// available cores; use HammingMatrixWorkers to bound the parallelism.
 func HammingMatrix(rows [][]int) [][]float64 {
-	n := len(rows)
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dd := float64(kmodes.Hamming(rows[i], rows[j])) / float64(len(rows[i]))
-			out[i][j], out[j][i] = dd, dd
-		}
-	}
-	return out
+	return similarity.DissimilarityMatrix(rows, 0)
+}
+
+// HammingMatrixWorkers is HammingMatrix with an explicit worker bound
+// (≤ 0 → GOMAXPROCS, 1 → sequential). The result is identical at any
+// parallelism level.
+func HammingMatrixWorkers(rows [][]int, workers int) [][]float64 {
+	return similarity.DissimilarityMatrix(rows, workers)
 }
 
 // NaturalCut inspects the dendrogram's height sequence and returns the k

@@ -1,0 +1,268 @@
+// Package parallel is the shared bounded-concurrency execution layer of the
+// repository. Every CPU-bound fan-out in the MCDC pipeline (pairwise
+// similarity matrices, per-cluster feature-weight refreshes, CAME assignment
+// sweeps, ensemble MGCPL runs, one-hot expansion) runs through the primitives
+// here rather than hand-rolled goroutines, which gives them a uniform
+// contract:
+//
+//   - Bounded workers. At most W goroutines run the callback at a time; W ≤ 0
+//     resolves to runtime.GOMAXPROCS(0) and W = 1 executes inline on the
+//     calling goroutine with no concurrency at all.
+//   - Deterministic results. Work is identified by index; callbacks write
+//     only to their own index (or chunk) and chunk boundaries depend only on
+//     the problem size, never on W. Reductions fold per-chunk values in chunk
+//     order. Together this makes every computation in the repository
+//     bit-for-bit identical at any parallelism level.
+//   - First-error semantics. The returned error is the one produced by the
+//     lowest failing index, exactly what a sequential loop that stops at the
+//     first failure would report. Once any callback fails, no new work is
+//     dispatched (in-flight callbacks finish). Whether indices above the
+//     failing one ran is unspecified, so per-index side effects must be
+//     independent.
+//   - Panic containment. A panic inside a callback is captured and returned
+//     as a *PanicError instead of crashing sibling workers.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunks bounds how many contiguous chunks ForEachChunk and MapReduce
+// split a range into, and minChunkSize keeps chunks from degenerating into
+// per-item dispatch on small inputs. Both are constants — chunk boundaries
+// must depend only on the problem size n, never on the worker count, or
+// per-chunk reductions would change with the machine. maxChunks is therefore
+// also the ceiling on the effective parallelism of chunked operations; 256
+// comfortably covers current hardware while keeping per-chunk accumulator
+// allocations (e.g. CAME's mode counts) bounded.
+const (
+	maxChunks    = 256
+	minChunkSize = 16
+)
+
+// smallWork is the Gate threshold: below this many elementary operations the
+// fan-out overhead outweighs the saved compute.
+const smallWork = 1 << 12
+
+// Gate returns 1 (inline execution) when a fan-out's total work — an
+// approximate count of elementary operations, e.g. rows×features — is too
+// small to amortize goroutine dispatch, and workers unchanged otherwise.
+// The gate depends only on the problem shape, never on the machine, so it
+// preserves the determinism contract trivially (results are identical at
+// any worker count anyway; this only avoids pointless dispatch).
+func Gate(workers, work int) int {
+	if work < smallWork {
+		return 1
+	}
+	return workers
+}
+
+// Resolve maps a Workers knob to a concrete worker count: values ≥ 1 are used
+// as given, anything else resolves to runtime.GOMAXPROCS(0).
+func Resolve(workers int) int {
+	if workers >= 1 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError is the error returned when a worker callback panics. The
+// original panic value and the worker's stack are preserved for diagnosis.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: callback panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Must is the companion for fan-outs whose callbacks cannot fail: any error
+// from them is a recovered worker panic (*PanicError), so Must re-raises it
+// rather than letting the caller continue on silently incomplete results.
+func Must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// chunkSize returns the workers-independent chunk length for n items: n is
+// split into at most maxChunks chunks of at least minChunkSize items.
+func chunkSize(n int) int {
+	size := (n + maxChunks - 1) / maxChunks
+	if size < minChunkSize {
+		size = minChunkSize
+	}
+	return size
+}
+
+// run dispatches tasks 0..tasks-1 to at most `workers` goroutines and returns
+// the error of the lowest failing task. Tasks are claimed in index order via
+// an atomic cursor, and a claimed task is abandoned only when a failure
+// strictly below it is already recorded — so the lowest failing task always
+// executes and records its own error, making the returned error identical to
+// what a sequential early-exit loop reports.
+func run(workers, tasks int, fn func(task int) error) error {
+	if tasks <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > tasks {
+		workers = tasks
+	}
+
+	var (
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+	)
+	record := func(task int, err error) {
+		mu.Lock()
+		if firstErr == nil || task < firstIdx {
+			firstIdx, firstErr = task, err
+		}
+		mu.Unlock()
+	}
+	// skip reports whether a claimed task may be abandoned: only when a
+	// failure below it is already recorded. Abandoning on ANY failure would
+	// let a descheduled worker drop a lower-index task whose error the
+	// contract promises to report — the lowest failing task must always run.
+	skip := func(task int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil && firstIdx < task
+	}
+	safeCall := func(task int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				err = &PanicError{Value: r, Stack: buf}
+			}
+		}()
+		return fn(task)
+	}
+
+	if workers == 1 {
+		// Inline fast path: no goroutines, sequential early-exit semantics.
+		for task := 0; task < tasks; task++ {
+			if err := safeCall(task); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				task := int(cursor.Add(1)) - 1
+				if task >= tasks || skip(task) {
+					return
+				}
+				if err := safeCall(task); err != nil {
+					record(task, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (workers ≤ 0 → GOMAXPROCS). fn must confine its side effects to data owned
+// by index i. The returned error follows first-error semantics.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return run(workers, n, fn)
+}
+
+// ForEachChunk splits [0, n) into contiguous chunks and runs fn(lo, hi) for
+// each. Chunk boundaries depend only on n — never on workers — so code that
+// accumulates per-chunk partial results reproduces exactly at any
+// parallelism level.
+func ForEachChunk(workers, n int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	size := chunkSize(n)
+	chunks := (n + size - 1) / size
+	return run(workers, chunks, func(c int) error {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
+// MapReduce maps each chunk of [0, n) to a value and folds the per-chunk
+// values in chunk order: acc = reduce(acc, v_0), acc = reduce(acc, v_1), …
+// Because the chunking is workers-independent and the fold is ordered, the
+// result is bit-for-bit reproducible at any parallelism level even for
+// non-associative reductions (e.g. floating-point sums).
+func MapReduce[T any](workers, n int, zero T, mapFn func(lo, hi int) (T, error), reduce func(acc, next T) T) (T, error) {
+	if n <= 0 {
+		return zero, nil
+	}
+	size := chunkSize(n)
+	chunks := (n + size - 1) / size
+	vals := make([]T, chunks)
+	err := run(workers, chunks, func(c int) error {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		v, err := mapFn(lo, hi)
+		if err != nil {
+			return err
+		}
+		vals[c] = v
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	acc := zero
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc, nil
+}
+
+// Pool is a reusable handle carrying a resolved worker count, for call sites
+// that thread one parallelism knob through several phases.
+type Pool struct {
+	workers int
+}
+
+// NewPool builds a pool of the given size (≤ 0 → GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	return &Pool{workers: Resolve(workers)}
+}
+
+// Workers reports the resolved worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn over [0, n) with the pool's worker bound.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return ForEach(p.workers, n, fn)
+}
+
+// ForEachChunk runs fn over workers-independent chunks of [0, n) with the
+// pool's worker bound.
+func (p *Pool) ForEachChunk(n int, fn func(lo, hi int) error) error {
+	return ForEachChunk(p.workers, n, fn)
+}

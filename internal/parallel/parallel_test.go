@@ -1,0 +1,300 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(4); got != 4 {
+		t.Errorf("Resolve(4) = %d", got)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Resolve(n); got != want {
+			t.Errorf("Resolve(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	if got := Gate(8, smallWork-1); got != 1 {
+		t.Errorf("Gate below threshold = %d, want 1", got)
+	}
+	if got := Gate(8, smallWork); got != 8 {
+		t.Errorf("Gate at threshold = %d, want 8", got)
+	}
+	if got := Gate(0, smallWork*100); got != 0 {
+		t.Errorf("Gate must pass the workers knob through unresolved, got %d", got)
+	}
+}
+
+func TestPoolSizing(t *testing.T) {
+	if p := NewPool(3); p.Workers() != 3 {
+		t.Errorf("NewPool(3).Workers() = %d", p.Workers())
+	}
+	if p := NewPool(0); p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(0).Workers() = %d, want GOMAXPROCS", p.Workers())
+	}
+
+	// The concurrency bound must hold: with W=2 never more than 2 callbacks
+	// in flight at once.
+	const tasks = 64
+	var inFlight, peak atomic.Int64
+	err := ForEach(2, tasks, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d with 2 workers", peak.Load())
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 1000
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachChunkBoundariesWorkersIndependent(t *testing.T) {
+	// The chunk boundaries must be a function of n alone: record them at two
+	// worker counts and compare.
+	record := func(workers, n int) map[[2]int]bool {
+		var mu sync.Mutex
+		seen := map[[2]int]bool{}
+		if err := ForEachChunk(workers, n, func(lo, hi int) error {
+			mu.Lock()
+			seen[[2]int{lo, hi}] = true
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	for _, n := range []int{1, 7, 63, 64, 65, 1000, 4096} {
+		a, b := record(1, n), record(8, n)
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: %d chunks at W=1, %d at W=8", n, len(a), len(b))
+		}
+		covered := 0
+		for ch := range a {
+			if !b[ch] {
+				t.Fatalf("n=%d: chunk %v differs between worker counts", n, ch)
+			}
+			covered += ch[1] - ch[0]
+		}
+		if covered != n {
+			t.Fatalf("n=%d: chunks cover %d items", n, covered)
+		}
+	}
+}
+
+func TestFirstErrorSemantics(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		// Indices 700 and 30 both fail; the reported error must always be the
+		// lowest one, exactly as a sequential early-exit loop would report.
+		// The high index fails instantly while the low one yields first,
+		// maximizing the chance of a racing scheduler recording the high
+		// failure before the low task runs — a claimed low task must still
+		// execute rather than be abandoned. Repeated to give the race a
+		// chance to manifest.
+		for rep := 0; rep < 200; rep++ {
+			err := ForEach(workers, 1000, func(i int) error {
+				if i == 700 {
+					return fmt.Errorf("high %w", errBoom)
+				}
+				if i == 30 {
+					runtime.Gosched()
+					return fmt.Errorf("low %w", errBoom)
+				}
+				return nil
+			})
+			if err == nil || !strings.HasPrefix(err.Error(), "low ") {
+				t.Fatalf("workers=%d rep=%d: err = %v, want the lowest-index failure", workers, rep, err)
+			}
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("workers=%d: error chain broken: %v", workers, err)
+			}
+		}
+	}
+}
+
+func TestErrorStopsDispatch(t *testing.T) {
+	// After a failure, no new work should be dispatched (in-flight tasks may
+	// finish). With W=2 and the failure at index 0, far fewer than all tasks
+	// should run.
+	var ran atomic.Int64
+	err := ForEach(2, 1_000_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran.Load() > 1000 {
+		t.Errorf("%d tasks ran after early failure", ran.Load())
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i == 42 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("panic value = %v", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("panic stack not captured")
+		}
+	}
+}
+
+func TestMapReduceDeterministicOrder(t *testing.T) {
+	// A deliberately non-associative reduction (string concatenation of chunk
+	// ranges) must come out identical at any parallelism, because chunks are
+	// folded in chunk order.
+	build := func(workers int) string {
+		s, err := MapReduce(workers, 1000, "",
+			func(lo, hi int) (string, error) { return fmt.Sprintf("[%d,%d)", lo, hi), nil },
+			func(acc, next string) string { return acc + next })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := build(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := build(w); got != want {
+			t.Errorf("workers=%d: fold order differs:\n%s\n%s", w, got, want)
+		}
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	sum, err := MapReduce(4, 10_000, 0,
+		func(lo, hi int) (int, error) {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s, nil
+		},
+		func(acc, next int) int { return acc + next })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10_000 * 9999 / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachChunk(4, 0, func(int, int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := ForEach(8, 1, func(i int) error { got++; return nil }); err != nil || got != 1 {
+		t.Fatalf("n=1: got=%d err=%v", got, err)
+	}
+}
+
+// TestConcurrentForEachStress drives many ForEach calls from concurrent
+// goroutines — the shape the race detector needs to certify that the pool's
+// internal state (cursor, error fold) is properly synchronized.
+func TestConcurrentForEachStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				out := make([]int, 200)
+				err := ForEach(4, len(out), func(i int) error {
+					out[i] = i * g
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, v := range out {
+					if v != i*g {
+						t.Errorf("g=%d rep=%d: out[%d] = %d", g, rep, i, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPoolForEachChunk(t *testing.T) {
+	p := NewPool(4)
+	n := 500
+	out := make([]int, n)
+	if err := p.ForEachChunk(n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if err := p.ForEach(10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

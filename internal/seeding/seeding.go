@@ -2,7 +2,11 @@
 // k-modes-family algorithms in this repository.
 package seeding
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"mcdc/internal/parallel"
+)
 
 // DistinctRows returns the indices of k seed objects drawn uniformly at
 // random, preferring objects with pairwise-distinct value rows: identical
@@ -46,10 +50,27 @@ func DistinctRows(rows [][]int, k int, rng *rand.Rand) []int {
 // the object farthest from all chosen seeds. Spread-out seeds make
 // k-modes-family optimizers markedly more stable than uniform sampling.
 func FarthestFirst(rows [][]int, k int, rng *rand.Rand) []int {
+	return FarthestFirstWorkers(rows, k, rng, 1)
+}
+
+// FarthestFirstWorkers is FarthestFirst with the O(k·n·d) distance scans
+// fanned out over the given worker bound (≤ 0 → GOMAXPROCS, 1 → sequential).
+// The rng is consumed once, before any parallel work; the per-round argmax
+// folds workers-independent chunk maxima in chunk order with strict
+// comparisons, reproducing the sequential lowest-index tie-break — the chosen
+// seeds are identical at any parallelism level.
+func FarthestFirstWorkers(rows [][]int, k int, rng *rand.Rand, workers int) []int {
 	n := len(rows)
 	if k > n {
 		k = n
 	}
+	// Each scan below costs n·d; on small inputs the fan-out overhead
+	// exceeds the saved compute, so drop to inline execution. One pool
+	// threads the resolved bound through every phase of the traversal; the
+	// scan callbacks are infallible, so errors (recovered worker panics
+	// only) are re-raised via parallel.Must rather than seeding from a
+	// half-updated distance vector.
+	pool := parallel.NewPool(parallel.Gate(workers, n*len(rows[0])))
 	seeds := make([]int, 0, k)
 	first := rng.Intn(n)
 	seeds = append(seeds, first)
@@ -63,22 +84,47 @@ func FarthestFirst(rows [][]int, k int, rng *rand.Rand) []int {
 		return d
 	}
 	minDist := make([]int, n)
-	for i := range minDist {
-		minDist[i] = hamming(rows[i], rows[first])
+	parallel.Must(pool.ForEachChunk(n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			minDist[i] = hamming(rows[i], rows[first])
+		}
+		return nil
+	}))
+	type argmax struct {
+		idx  int
+		dist int
 	}
+	// The per-round argmax is only O(n) — far lighter than the O(n·d)
+	// distance scans the pool was sized for — so gate it on its own cost.
+	argmaxWorkers := parallel.Gate(pool.Workers(), n)
 	for len(seeds) < k {
-		next, best := -1, -1
-		for i, dd := range minDist {
-			if dd > best {
-				next, best = i, dd
-			}
-		}
+		top, err := parallel.MapReduce(argmaxWorkers, n, argmax{idx: -1, dist: -1},
+			func(lo, hi int) (argmax, error) {
+				best := argmax{idx: -1, dist: -1}
+				for i := lo; i < hi; i++ {
+					if minDist[i] > best.dist {
+						best = argmax{idx: i, dist: minDist[i]}
+					}
+				}
+				return best, nil
+			},
+			func(acc, next argmax) argmax {
+				if next.dist > acc.dist {
+					return next
+				}
+				return acc
+			})
+		parallel.Must(err)
+		next := top.idx
 		seeds = append(seeds, next)
-		for i := range minDist {
-			if dd := hamming(rows[i], rows[next]); dd < minDist[i] {
-				minDist[i] = dd
+		parallel.Must(pool.ForEachChunk(n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if dd := hamming(rows[i], rows[next]); dd < minDist[i] {
+					minDist[i] = dd
+				}
 			}
-		}
+			return nil
+		}))
 	}
 	return seeds
 }

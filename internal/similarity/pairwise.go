@@ -1,0 +1,77 @@
+package similarity
+
+import (
+	"mcdc/internal/categorical"
+	"mcdc/internal/parallel"
+)
+
+// RowMatches returns the number of positions on which two value rows agree
+// under simple matching. A Missing code never matches anything — including
+// another Missing — mirroring the repository-wide convention (kmodes.Hamming,
+// Tables): RowMatches(a, b) == len(a) - kmodes.Hamming(a, b).
+func RowMatches(a, b []int) int {
+	m := 0
+	for r := range a {
+		if a[r] == b[r] && a[r] != categorical.Missing {
+			m++
+		}
+	}
+	return m
+}
+
+// PairwiseMatrix computes the n×n object–object similarity matrix under
+// simple matching: S[i][j] is the fraction of features on which rows i and j
+// take the same (non-missing) value, with S[i][i] = 1 by convention. The
+// O(n²·d) upper triangle is row-chunked across at most `workers` goroutines
+// (≤ 0 → GOMAXPROCS) and mirrored; every cell is written exactly once, so
+// the result is identical at any parallelism level.
+func PairwiseMatrix(rows [][]int, workers int) [][]float64 {
+	return pairwise(rows, workers, false)
+}
+
+// DissimilarityMatrix computes the n×n normalized Hamming dissimilarity
+// matrix, D[i][j] = kmodes.Hamming(i, j)/d with D[i][i] = 0 — the standard
+// input for hierarchical clustering of categorical rows. Parallelized
+// exactly like PairwiseMatrix. Both matrices divide an integer count by d,
+// so each is bit-identical to its sequential (and pre-parallel) computation.
+func DissimilarityMatrix(rows [][]int, workers int) [][]float64 {
+	return pairwise(rows, workers, true)
+}
+
+func pairwise(rows [][]int, workers int, dissim bool) [][]float64 {
+	n := len(rows)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	if n == 0 {
+		return out
+	}
+	d := len(rows[0])
+	diag := 1.0
+	if dissim {
+		diag = 0
+	}
+	// Row chunks of the upper triangle: chunk c owns cells (i, j>i) for its
+	// rows, plus the mirror writes (j, i). Distinct goroutines touch distinct
+	// cells only, so no synchronization is needed. Early rows carry more
+	// cells than late ones; chunking far finer than realistic worker counts
+	// keeps the dynamic schedule balanced (at most maxChunks chunks, the
+	// layer's parallelism ceiling).
+	parallel.Must(parallel.ForEachChunk(parallel.Gate(workers, n*n*d), n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			ri := rows[i]
+			out[i][i] = diag
+			for j := i + 1; j < n; j++ {
+				m := RowMatches(ri, rows[j])
+				if dissim {
+					m = d - m
+				}
+				s := float64(m) / float64(d)
+				out[i][j], out[j][i] = s, s
+			}
+		}
+		return nil
+	}))
+	return out
+}

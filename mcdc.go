@@ -93,6 +93,7 @@ func Explore(d *Dataset, opts ...Option) (*MultiGranular, error) {
 	res, err := core.RunMGCPL(rows, card, core.MGCPLConfig{
 		LearningRate: o.learningRate,
 		InitialK:     o.initialK,
+		Workers:      o.workers,
 		Rand:         rand.New(rand.NewSource(o.seed)),
 	})
 	if err != nil {
@@ -118,6 +119,7 @@ func Cluster(d *Dataset, k int, opts ...Option) (*Result, error) {
 	mgCfg := core.MGCPLConfig{
 		LearningRate: o.learningRate,
 		InitialK:     o.initialK,
+		Workers:      o.workers,
 		Rand:         rng,
 	}
 	if o.finalClusterer != nil {
@@ -139,7 +141,7 @@ func Cluster(d *Dataset, k int, opts ...Option) (*Result, error) {
 	}
 	res, err := core.RunMCDC(rows, card, core.MCDCConfig{
 		MGCPL:   mgCfg,
-		CAME:    core.CAMEConfig{K: k},
+		CAME:    core.CAMEConfig{K: k, Workers: o.workers},
 		Repeats: o.ensemble,
 	})
 	if err != nil {

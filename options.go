@@ -14,6 +14,7 @@ type options struct {
 	learningRate   float64
 	initialK       int
 	ensemble       int
+	workers        int
 	finalClusterer FinalClusterer
 }
 
@@ -53,6 +54,24 @@ func WithInitialK(k0 int) Option {
 // stability.
 func WithEnsemble(repeats int) Option {
 	return func(o *options) { o.ensemble = repeats }
+}
+
+// WithParallelism bounds how many goroutines the pipeline's CPU-bound
+// fan-outs may use: the ensemble MGCPL repeats, the per-cluster
+// feature-weight refreshes, CAME's assignment/mode/θ sweeps, and the
+// farthest-first seeding scans. n ≤ 0 (the default) resolves to
+// runtime.GOMAXPROCS(0); n = 1 runs fully sequentially.
+//
+// Determinism contract: parallelism never changes results. For a fixed seed,
+// every parallelism level produces bit-for-bit identical labels, κ series,
+// and Θ weights — work is partitioned into chunks whose boundaries depend
+// only on the problem size, per-chunk partial results are merged in chunk
+// order, and all randomness is drawn on a single goroutine (ensemble repeats
+// get their sub-seeds derived up front, in repeat order, from the master
+// seed). WithParallelism(1) is therefore a debugging aid and a benchmark
+// baseline, not a way to get different output.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 // WithFinalClusterer substitutes the given algorithm for CAME on the

@@ -32,6 +32,10 @@ type StreamConfig struct {
 	RefreshEvery int
 	// Seed drives the underlying MGCPL analyses.
 	Seed int64
+	// Parallelism bounds the goroutines used by window re-learning
+	// (≤ 0 → GOMAXPROCS, 1 → sequential); see WithParallelism for the
+	// determinism contract.
+	Parallelism int
 }
 
 // NewStreamClusterer builds a streaming multi-granular clusterer.
@@ -40,7 +44,7 @@ func NewStreamClusterer(cfg StreamConfig) (*StreamClusterer, error) {
 		Cardinalities: cfg.Cardinalities,
 		WindowSize:    cfg.WindowSize,
 		RefreshEvery:  cfg.RefreshEvery,
-		MGCPL:         core.MGCPLConfig{Rand: rand.New(rand.NewSource(cfg.Seed))},
+		MGCPL:         core.MGCPLConfig{Workers: cfg.Parallelism, Rand: rand.New(rand.NewSource(cfg.Seed))},
 	})
 	if err != nil {
 		return nil, err
