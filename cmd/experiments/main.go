@@ -37,6 +37,7 @@ func run() error {
 		dsFlag   = flag.String("datasets", "", "comma-separated subset of data sets (default: all eight)")
 		quick    = flag.Bool("quick", false, "shrink the fig6 sweeps for a fast smoke run")
 		progress = flag.Bool("progress", true, "print progress to stderr")
+		par      = flag.Int("par", 0, "dataset-level parallelism for the table/figure harnesses (<= 0 all cores, 1 sequential); results are identical at any level. fig6 times methods and always runs sequentially")
 	)
 	flag.Parse()
 
@@ -54,28 +55,32 @@ func run() error {
 
 	switch *exp {
 	case "table3":
-		return runTables(*runs, *seed, names, prog, false)
+		return runTables(*runs, *seed, names, prog, false, *par)
 	case "table4":
-		return runTables(*runs, *seed, names, prog, true)
+		return runTables(*runs, *seed, names, prog, true, *par)
 	case "fig4":
-		return runFig4(*runs, *seed, names)
+		return runFig4(*runs, *seed, names, *par)
 	case "fig5":
-		return runFig5(*seed, names)
+		return runFig5(*seed, names, *par)
 	case "fig6":
 		return runFig6(*seed, *quick)
 	case "sensitivity":
-		return runSensitivity(*runs, *seed, names)
+		return runSensitivity(*runs, *seed, names, *par)
 	case "all":
-		if err := runTables(*runs, *seed, names, prog, true); err != nil {
+		// Every experiment the -exp flag advertises, in its listed order.
+		if err := runTables(*runs, *seed, names, prog, true, *par); err != nil {
 			return err
 		}
-		if err := runFig4(*runs, *seed, names); err != nil {
+		if err := runFig4(*runs, *seed, names, *par); err != nil {
 			return err
 		}
-		if err := runFig5(*seed, names); err != nil {
+		if err := runFig5(*seed, names, *par); err != nil {
 			return err
 		}
-		return runFig6(*seed, *quick)
+		if err := runFig6(*seed, *quick); err != nil {
+			return err
+		}
+		return runSensitivity(*runs, *seed, names, *par)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

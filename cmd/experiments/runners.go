@@ -7,12 +7,13 @@ import (
 	"mcdc/internal/experiments"
 )
 
-func runTables(runs int, seed int64, names []string, prog func(ds, m string), withTable4 bool) error {
+func runTables(runs int, seed int64, names []string, prog func(ds, m string), withTable4 bool, workers int) error {
 	t3, err := experiments.RunTable3(experiments.Table3Config{
 		Runs:     runs,
 		Seed:     seed,
 		Datasets: names,
 		Progress: prog,
+		Workers:  workers,
 	})
 	if err != nil {
 		return err
@@ -32,8 +33,8 @@ func runTables(runs int, seed int64, names []string, prog func(ds, m string), wi
 	return nil
 }
 
-func runFig4(runs int, seed int64, names []string) error {
-	f4, err := experiments.RunFig4(runs, seed, names)
+func runFig4(runs int, seed int64, names []string, workers int) error {
+	f4, err := experiments.RunFig4(runs, seed, names, workers)
 	if err != nil {
 		return err
 	}
@@ -42,8 +43,8 @@ func runFig4(runs int, seed int64, names []string) error {
 	return nil
 }
 
-func runFig5(seed int64, names []string) error {
-	f5, err := experiments.RunFig5(seed, names)
+func runFig5(seed int64, names []string, workers int) error {
+	f5, err := experiments.RunFig5(seed, names, workers)
 	if err != nil {
 		return err
 	}
@@ -86,8 +87,8 @@ func runFig6(seed int64, quick bool) error {
 	return nil
 }
 
-func runSensitivity(runs int, seed int64, names []string) error {
-	sw, err := experiments.RunSensitivity(runs, seed, names, nil)
+func runSensitivity(runs int, seed int64, names []string, workers int) error {
+	sw, err := experiments.RunSensitivity(runs, seed, names, nil, workers)
 	if err != nil {
 		return err
 	}

@@ -22,7 +22,7 @@ func TestMGCPLAgreesWithHierarchicalClustering(t *testing.T) {
 	}
 	final := mg.Final()
 
-	den, err := linkage.Build(linkage.HammingMatrix(ds.Rows), linkage.Average)
+	den, err := linkage.BuildCondensed(linkage.HammingCondensed(ds.Rows), linkage.Average)
 	if err != nil {
 		t.Fatal(err)
 	}

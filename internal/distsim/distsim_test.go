@@ -116,6 +116,25 @@ func newTestJob(t *testing.T, nodes int) ([][]int, []int, *Placement) {
 	return rows, []int{4, 3, 3}, p
 }
 
+// TestComputeStatsCohesion pins the condensed-similarity cohesion summary a
+// worker attaches to every shard: mean pairwise simple-matching similarity,
+// with singletons perfectly cohesive by convention.
+func TestComputeStatsCohesion(t *testing.T) {
+	card := []int{2, 3}
+	uniform := [][]int{{1, 2}, {1, 2}, {1, 2}}
+	if st := computeStats(0, uniform, card); st.Cohesion != 1 {
+		t.Errorf("uniform shard cohesion = %v, want 1", st.Cohesion)
+	}
+	if st := computeStats(1, [][]int{{0, 1}}, card); st.Cohesion != 1 {
+		t.Errorf("singleton shard cohesion = %v, want 1", st.Cohesion)
+	}
+	// Three rows, pairwise matches 1/2, 0/2, 1/2 -> mean 1/3.
+	mixed := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	if st := computeStats(2, mixed, card); st.Cohesion != 1.0/3.0 {
+		t.Errorf("mixed shard cohesion = %v, want 1/3", st.Cohesion)
+	}
+}
+
 func TestCoordinatorWorkersComplete(t *testing.T) {
 	rows, card, plan := newTestJob(t, 3)
 	coord, err := NewCoordinator(rows, card, plan)

@@ -1,5 +1,7 @@
 package distsim
 
+import "mcdc/internal/similarity"
+
 // Wire protocol between the coordinator and its workers. Every frame is one
 // gob-encoded message; Kind discriminates the payload.
 
@@ -29,24 +31,33 @@ type message struct {
 }
 
 // ShardStats is the per-shard analytics a worker computes: the object count,
-// the per-feature mode and the per-feature value histograms of the shard.
-// It is the local sufficient statistic a central server needs to refine or
-// merge clusters without moving the raw objects again.
+// the per-feature mode, the per-feature value histograms, and the cohesion of
+// the shard. It is the local sufficient statistic a central server needs to
+// refine or merge clusters without moving the raw objects again.
 type ShardStats struct {
 	ShardID int
 	Count   int
 	Mode    []int
 	// Freq[r][v] counts shard objects with value v on feature r.
 	Freq [][]int
+	// Cohesion is the mean pairwise simple-matching similarity of the
+	// shard's rows (1 = all identical; a singleton shard is 1 by
+	// convention). Shards are micro-clusters, so a low value flags a
+	// granularity level that was cut too coarse for locality-preserving
+	// placement.
+	Cohesion float64
 }
 
-// computeStats derives ShardStats from raw shard rows.
+// computeStats derives ShardStats from raw shard rows. The cohesion summary
+// streams the condensed pairwise tiling of internal/similarity on all cores
+// without materializing the O(s²) matrix, so it is safe on large shards.
 func computeStats(shardID int, rows [][]int, cardinalities []int) ShardStats {
 	st := ShardStats{
-		ShardID: shardID,
-		Count:   len(rows),
-		Mode:    make([]int, len(cardinalities)),
-		Freq:    make([][]int, len(cardinalities)),
+		ShardID:  shardID,
+		Count:    len(rows),
+		Mode:     make([]int, len(cardinalities)),
+		Freq:     make([][]int, len(cardinalities)),
+		Cohesion: similarity.MeanPairwise(rows, 0),
 	}
 	for r, m := range cardinalities {
 		st.Freq[r] = make([]int, m)

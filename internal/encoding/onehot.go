@@ -74,10 +74,19 @@ type KMeansConfig struct {
 	K        int
 	MaxIters int
 	Rand     *rand.Rand
+	// Workers bounds the parallelism of the O(n·k·width) distance sweeps
+	// (≤ 0 → GOMAXPROCS, 1 → sequential). Labels are identical at any level:
+	// each point's nearest center is computed independently, reductions
+	// (distance totals, center means) stay sequential in point order, and
+	// every Rand draw happens on the calling goroutine.
+	Workers int
 }
 
 // KMeans is a standard Lloyd's iteration over dense vectors with k-means++
-// seeding, provided as the downstream clusterer for one-hot embeddings.
+// seeding, provided as the downstream clusterer for one-hot embeddings. The
+// per-point nearest-center sweeps — the O(n·k·width) hot path of both the
+// seeding and the Lloyd iterations — are chunked across cfg.Workers
+// goroutines under the repository's determinism contract.
 func KMeans(points [][]float64, cfg KMeansConfig) ([]int, error) {
 	n := len(points)
 	if n == 0 {
@@ -105,21 +114,33 @@ func KMeans(points [][]float64, cfg KMeansConfig) ([]int, error) {
 		}
 		return s
 	}
+	width := len(points[0])
 
-	// k-means++ seeding.
+	// k-means++ seeding. The nearest-center distances are chunked over the
+	// points (each d2[i] is written by exactly one goroutine); the total used
+	// for the roulette draw is then summed sequentially in point order, so it
+	// is bit-identical to the sequential sweep, and all Rand draws stay here
+	// on the calling goroutine.
 	centers := make([][]float64, 0, k)
 	centers = append(centers, append([]float64(nil), points[cfg.Rand.Intn(n)]...))
 	d2 := make([]float64, n)
 	for len(centers) < k {
-		var total float64
-		for i, p := range points {
-			d2[i] = math.Inf(1)
-			for _, c := range centers {
-				if dd := sqDist(p, c); dd < d2[i] {
-					d2[i] = dd
+		cs := centers
+		parallel.Must(parallel.ForEachChunk(parallel.Gate(cfg.Workers, n*len(cs)*width), n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				d2[i] = math.Inf(1)
+				for _, c := range cs {
+					if dd := sqDist(p, c); dd < d2[i] {
+						d2[i] = dd
+					}
 				}
 			}
-			total += d2[i]
+			return nil
+		}))
+		var total float64
+		for _, v := range d2 {
+			total += v
 		}
 		pick := 0
 		if total > 0 {
@@ -139,22 +160,38 @@ func KMeans(points [][]float64, cfg KMeansConfig) ([]int, error) {
 
 	labels := make([]int, n)
 	for iter := 0; iter < maxIters; iter++ {
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, sqDist(p, centers[0])
-			for l := 1; l < k; l++ {
-				if dd := sqDist(p, centers[l]); dd < bestD {
-					best, bestD = l, dd
+		// Lloyd assignment sweep: each point's nearest center depends only on
+		// the (frozen) centers, so labels[i] is written by exactly one
+		// goroutine and the outcome matches the sequential sweep exactly.
+		// Chunk boundaries depend only on n; the per-chunk changed flags fold
+		// with OR, which is order-insensitive.
+		changed, err := parallel.MapReduce(parallel.Gate(cfg.Workers, n*k*width), n, false,
+			func(lo, hi int) (bool, error) {
+				ch := false
+				for i := lo; i < hi; i++ {
+					p := points[i]
+					best, bestD := 0, sqDist(p, centers[0])
+					for l := 1; l < k; l++ {
+						if dd := sqDist(p, centers[l]); dd < bestD {
+							best, bestD = l, dd
+						}
+					}
+					if labels[i] != best {
+						labels[i] = best
+						ch = true
+					}
 				}
-			}
-			if labels[i] != best {
-				labels[i] = best
-				changed = true
-			}
-		}
+				return ch, nil
+			},
+			func(acc, next bool) bool { return acc || next })
+		parallel.Must(err)
 		if !changed && iter > 0 {
 			break
 		}
+		// Center recomputation stays sequential: it is O(n·width) — k× cheaper
+		// than the assignment sweep — and keeping the accumulation in point
+		// order preserves the exact floating-point center values of the
+		// sequential implementation.
 		counts := make([]int, k)
 		for l := range centers {
 			for j := range centers[l] {
@@ -183,9 +220,9 @@ func KMeans(points [][]float64, cfg KMeansConfig) ([]int, error) {
 }
 
 // Cluster runs the full encoding-based pipeline: one-hot embedding followed
-// by k-means.
+// by k-means, both bounded by cfg.Workers.
 func Cluster(rows [][]int, cardinalities []int, cfg KMeansConfig) ([]int, error) {
-	points, err := OneHot(rows, cardinalities)
+	points, err := OneHotWorkers(rows, cardinalities, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -101,7 +101,7 @@ func TestRunAblationVersions(t *testing.T) {
 }
 
 func TestFig5Shapes(t *testing.T) {
-	f5, err := RunFig5(1, []string{"Vot.", "Bal."})
+	f5, err := RunFig5(1, []string{"Vot.", "Bal."}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestMethodByName(t *testing.T) {
 }
 
 func TestSensitivitySweep(t *testing.T) {
-	sw, err := RunSensitivity(1, 1, []string{"Vot."}, []float64{0.8, 0.9})
+	sw, err := RunSensitivity(1, 1, []string{"Vot."}, []float64{0.8, 0.9}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"mcdc/internal/datasets"
 	"mcdc/internal/kmodes"
 	"mcdc/internal/metrics"
+	"mcdc/internal/parallel"
 	"mcdc/internal/stats"
 	"mcdc/internal/wocil"
 )
@@ -73,8 +74,11 @@ func RunAblation(version string, rows [][]int, card []int, kstar int, seed int64
 }
 
 // RunFig4 reproduces the ablation study: mean ARI of the five versions over
-// `runs` seeded executions on each Table-II data set.
-func RunFig4(runs int, seed int64, names []string) (*Fig4, error) {
+// `runs` seeded executions on each Table-II data set. Data sets fan out
+// across `workers` goroutines (≤ 0 → GOMAXPROCS, 1 → sequential); every run
+// is seeded from its (version, run) indices and each goroutine writes only
+// its own dataset row, so the figure is identical at any parallelism level.
+func RunFig4(runs int, seed int64, names []string, workers int) (*Fig4, error) {
 	if runs <= 0 {
 		runs = 5
 	}
@@ -90,27 +94,36 @@ func RunFig4(runs int, seed int64, names []string) (*Fig4, error) {
 		}
 		infos = sel
 	}
-	out := &Fig4{Versions: AblationVersions}
-	for di, info := range infos {
+	out := &Fig4{
+		Versions: AblationVersions,
+		Datasets: make([]string, len(infos)),
+		ARI:      make([][]float64, len(infos)),
+	}
+	err := parallel.ForEach(workers, len(infos), func(di int) error {
+		info := infos[di]
 		ds := info.Gen(seededRand(seed, int64(di)))
-		out.Datasets = append(out.Datasets, info.Name)
+		out.Datasets[di] = info.Name
 		row := make([]float64, len(AblationVersions))
 		for vi, version := range AblationVersions {
 			var samples []float64
 			for run := 0; run < runs; run++ {
 				labels, err := RunAblation(version, ds.Rows, ds.Cardinalities(), info.KStar, seed+int64(run*31+vi))
 				if err != nil {
-					return nil, fmt.Errorf("fig4 %s on %s: %w", version, info.Name, err)
+					return fmt.Errorf("fig4 %s on %s: %w", version, info.Name, err)
 				}
 				ari, err := metrics.AdjustedRandIndex(ds.Labels, labels)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				samples = append(samples, ari)
 			}
 			row[vi] = round3(stats.Mean(samples))
 		}
-		out.ARI = append(out.ARI, row)
+		out.ARI[di] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -143,8 +156,11 @@ type Fig5 struct {
 	KStar    []int
 }
 
-// RunFig5 reproduces the learning-process evaluation.
-func RunFig5(seed int64, names []string) (*Fig5, error) {
+// RunFig5 reproduces the learning-process evaluation. Data sets fan out
+// across `workers` goroutines (≤ 0 → GOMAXPROCS, 1 → sequential); each MGCPL
+// run owns a rand seeded only by its dataset index and writes only its own
+// slots, so the trajectories are identical at any parallelism level.
+func RunFig5(seed int64, names []string, workers int) (*Fig5, error) {
 	infos := datasets.Table2()
 	if names != nil {
 		var sel []datasets.Info
@@ -157,18 +173,28 @@ func RunFig5(seed int64, names []string) (*Fig5, error) {
 		}
 		infos = sel
 	}
-	out := &Fig5{}
-	for di, info := range infos {
+	out := &Fig5{
+		Datasets: make([]string, len(infos)),
+		K0:       make([]int, len(infos)),
+		Kappa:    make([][]int, len(infos)),
+		KStar:    make([]int, len(infos)),
+	}
+	err := parallel.ForEach(workers, len(infos), func(di int) error {
+		info := infos[di]
 		ds := info.Gen(seededRand(seed, int64(di)))
 		cfg := core.MGCPLConfig{Rand: rand.New(rand.NewSource(seed + int64(di)))}
 		mg, err := core.RunMGCPL(ds.Rows, ds.Cardinalities(), cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 on %s: %w", info.Name, err)
+			return fmt.Errorf("fig5 on %s: %w", info.Name, err)
 		}
-		out.Datasets = append(out.Datasets, info.Name)
-		out.K0 = append(out.K0, intSqrtCeil(ds.N()))
-		out.Kappa = append(out.Kappa, mg.Kappa())
-		out.KStar = append(out.KStar, info.KStar)
+		out.Datasets[di] = info.Name
+		out.K0[di] = intSqrtCeil(ds.N())
+		out.Kappa[di] = mg.Kappa()
+		out.KStar[di] = info.KStar
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"mcdc/internal/core"
 	"mcdc/internal/datasets"
 	"mcdc/internal/metrics"
+	"mcdc/internal/parallel"
 	"mcdc/internal/stats"
 )
 
@@ -26,8 +27,12 @@ type Sensitivity struct {
 	ARI [][]float64
 }
 
-// RunSensitivity sweeps the rival threshold on the Table-II corpus.
-func RunSensitivity(runs int, seed int64, names []string, thresholds []float64) (*Sensitivity, error) {
+// RunSensitivity sweeps the rival threshold on the Table-II corpus. Data
+// sets fan out across `workers` goroutines (≤ 0 → GOMAXPROCS, 1 →
+// sequential); every run owns a rand seeded only by its (run, threshold)
+// indices and each goroutine writes only its own dataset rows, so the sweep
+// is identical at any parallelism level.
+func RunSensitivity(runs int, seed int64, names []string, thresholds []float64, workers int) (*Sensitivity, error) {
 	if runs <= 0 {
 		runs = 3
 	}
@@ -46,11 +51,18 @@ func RunSensitivity(runs int, seed int64, names []string, thresholds []float64) 
 		}
 		infos = sel
 	}
-	out := &Sensitivity{Thresholds: thresholds}
-	for di, info := range infos {
+	out := &Sensitivity{
+		Thresholds: thresholds,
+		Datasets:   make([]string, len(infos)),
+		KStar:      make([]int, len(infos)),
+		FinalK:     make([][]float64, len(infos)),
+		ARI:        make([][]float64, len(infos)),
+	}
+	err := parallel.ForEach(workers, len(infos), func(di int) error {
+		info := infos[di]
 		ds := info.Gen(seededRand(seed, int64(di)))
-		out.Datasets = append(out.Datasets, info.Name)
-		out.KStar = append(out.KStar, info.KStar)
+		out.Datasets[di] = info.Name
+		out.KStar[di] = info.KStar
 		kRow := make([]float64, len(thresholds))
 		aRow := make([]float64, len(thresholds))
 		for ti, tau := range thresholds {
@@ -62,20 +74,24 @@ func RunSensitivity(runs int, seed int64, names []string, thresholds []float64) 
 					CAME:  core.CAMEConfig{K: info.KStar},
 				})
 				if err != nil {
-					return nil, fmt.Errorf("sensitivity %s tau=%.2f: %w", info.Name, tau, err)
+					return fmt.Errorf("sensitivity %s tau=%.2f: %w", info.Name, tau, err)
 				}
 				ks = append(ks, float64(res.MGCPL.Final().K))
 				ari, err := metrics.AdjustedRandIndex(ds.Labels, res.Labels)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				aris = append(aris, ari)
 			}
 			kRow[ti] = stats.Mean(ks)
 			aRow[ti] = round3(stats.Mean(aris))
 		}
-		out.FinalK = append(out.FinalK, kRow)
-		out.ARI = append(out.ARI, aRow)
+		out.FinalK[di] = kRow
+		out.ARI[di] = aRow
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"mcdc/internal/datasets"
 	"mcdc/internal/metrics"
+	"mcdc/internal/parallel"
 	"mcdc/internal/stats"
 )
 
@@ -35,11 +37,18 @@ type Table3Config struct {
 	Datasets []string // subset of Table-II names; nil = all eight
 	Methods  []string // subset of method names; nil = all nine
 	Progress func(dataset, method string)
+	// Workers bounds the per-dataset fan-out (≤ 0 → GOMAXPROCS, 1 →
+	// sequential). Every cell is seeded from its (dataset, method, run)
+	// indices and written by exactly one goroutine, so the table is
+	// bit-for-bit identical at any parallelism level; only the Progress
+	// callback order changes.
+	Workers int
 }
 
 // RunTable3 executes the Table-III protocol: each method runs cfg.Runs times
 // per data set with the sought k = k*, and the mean and standard deviation
-// of ACC/ARI/AMI/FM are recorded.
+// of ACC/ARI/AMI/FM are recorded. Data sets are fanned out across
+// cfg.Workers goroutines.
 func RunTable3(cfg Table3Config) (*Table3, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 5
@@ -90,12 +99,24 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 		}
 	}
 
-	for di, info := range infos {
+	// Per-dataset fan-out: each goroutine generates its own data set (from a
+	// seed derived only from the dataset index), runs the method column
+	// sequentially, and writes only its own cells. Progress callbacks are
+	// serialized so callers can print from them safely.
+	var progressMu sync.Mutex
+	progress := func(dataset, method string) {
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		cfg.Progress(dataset, method)
+	}
+	err := parallel.ForEach(cfg.Workers, len(infos), func(di int) error {
+		info := infos[di]
 		ds := info.Gen(seededRand(cfg.Seed, int64(di)))
 		for mi, m := range methods {
-			if cfg.Progress != nil {
-				cfg.Progress(info.Name, m.Name)
-			}
+			progress(info.Name, m.Name)
 			runs := cfg.Runs
 			if m.Deterministic {
 				runs = 1
@@ -123,7 +144,7 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 				}
 				sc, err := metrics.Evaluate(ds.Labels, labels)
 				if err != nil {
-					return nil, fmt.Errorf("evaluate %s on %s: %w", m.Name, info.Name, err)
+					return fmt.Errorf("evaluate %s on %s: %w", m.Name, info.Name, err)
 				}
 				for x, v := range []float64{sc.ACC, sc.ARI, sc.AMI, sc.FM} {
 					samples[x] = append(samples[x], v)
@@ -137,6 +158,10 @@ func RunTable3(cfg Table3Config) (*Table3, error) {
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

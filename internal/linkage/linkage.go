@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"mcdc/internal/parallel"
 	"mcdc/internal/similarity"
 )
 
@@ -57,8 +58,10 @@ type Dendrogram struct {
 }
 
 // Build runs agglomerative clustering over a symmetric n×n dissimilarity
-// matrix with the given linkage method. O(n²) memory, O(n² log n) time via
-// nearest-neighbour arrays.
+// matrix with the given linkage method. It is the dense-accepting shim over
+// BuildCondensed: the matrix is packed into condensed triangular form first
+// (halving the working-copy memory), so prefer BuildCondensed when the
+// caller already has a condensed matrix.
 func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 	n := len(dist)
 	if n == 0 {
@@ -69,15 +72,37 @@ func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 			return nil, fmt.Errorf("linkage: matrix not square at row %d", i)
 		}
 	}
+	c, err := similarity.CondensedFromDense(dist, 0)
+	if err != nil {
+		return nil, fmt.Errorf("linkage: %w", err)
+	}
+	return BuildCondensedWorkers(c, method, 0)
+}
+
+// BuildCondensed is BuildCondensedWorkers with GOMAXPROCS workers.
+func BuildCondensed(dist *similarity.Condensed, method Method) (*Dendrogram, error) {
+	return BuildCondensedWorkers(dist, method, 0)
+}
+
+// BuildCondensedWorkers runs agglomerative clustering over a condensed
+// dissimilarity matrix: O(n²/2) working memory (a condensed clone) and
+// O(n³/2) time via per-step nearest-pair scans. Each scan is row-chunked
+// across at most `workers` goroutines (≤ 0 → GOMAXPROCS, 1 → sequential)
+// with per-chunk minima folded in chunk order under a strict < comparison,
+// which reproduces the sequential scan's first-minimum tie-break exactly —
+// the dendrogram is bit-for-bit identical at any parallelism level, and to
+// the dense path (the Lance–Williams arithmetic is unchanged).
+func BuildCondensedWorkers(dist *similarity.Condensed, method Method, workers int) (*Dendrogram, error) {
+	n := dist.N()
+	if n == 0 {
+		return nil, errors.New("linkage: empty dissimilarity matrix")
+	}
 	if method != Single && method != Complete && method != Average {
 		return nil, fmt.Errorf("linkage: unknown method %v", method)
 	}
 
-	// Working copy; d[i][j] valid only for alive clusters.
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = append([]float64(nil), dist[i]...)
-	}
+	// Working copy; entries valid only for alive clusters.
+	d := dist.Clone()
 	alive := make([]bool, n)
 	size := make([]int, n)
 	node := make([]int, n) // dendrogram node id of working slot i
@@ -90,18 +115,7 @@ func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 	den := &Dendrogram{N: n}
 	nextID := n
 	for step := 0; step < n-1; step++ {
-		// Find the closest alive pair (simple O(n²) scan per step).
-		bi, bj, best := -1, -1, math.Inf(1)
-		for i := 0; i < n; i++ {
-			if !alive[i] {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if alive[j] && d[i][j] < best {
-					bi, bj, best = i, j, d[i][j]
-				}
-			}
-		}
+		bi, bj, best := nearestAlivePair(d, alive, workers)
 		if bi < 0 {
 			break
 		}
@@ -113,14 +127,13 @@ func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 			}
 			switch method {
 			case Single:
-				d[bi][m] = math.Min(d[bi][m], d[bj][m])
+				d.Set(bi, m, math.Min(d.At(bi, m), d.At(bj, m)))
 			case Complete:
-				d[bi][m] = math.Max(d[bi][m], d[bj][m])
+				d.Set(bi, m, math.Max(d.At(bi, m), d.At(bj, m)))
 			case Average:
 				wi, wj := float64(size[bi]), float64(size[bj])
-				d[bi][m] = (wi*d[bi][m] + wj*d[bj][m]) / (wi + wj)
+				d.Set(bi, m, (wi*d.At(bi, m)+wj*d.At(bj, m))/(wi+wj))
 			}
-			d[m][bi] = d[bi][m]
 		}
 		size[bi] += size[bj]
 		alive[bj] = false
@@ -128,6 +141,48 @@ func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 		nextID++
 	}
 	return den, nil
+}
+
+// pairCand is one candidate merge of the nearest-pair scan.
+type pairCand struct {
+	i, j int
+	d    float64
+}
+
+// nearestAlivePair finds the alive pair (i, j>i) with the smallest
+// dissimilarity, ties broken by lowest (i, j) — the same pair a sequential
+// scan with strict < selects. Rows are chunked with workers-independent
+// boundaries; per-chunk minima merge in chunk (hence ascending-i) order under
+// strict <, so the selection is identical at any parallelism level. Each row
+// streams its contiguous UpperRow slice, which is what makes the O(n²/2)
+// scan cache-friendly.
+func nearestAlivePair(d *similarity.Condensed, alive []bool, workers int) (int, int, float64) {
+	n := d.N()
+	none := pairCand{i: -1, j: -1, d: math.Inf(1)}
+	best, err := parallel.MapReduce(parallel.Gate(workers, n*n/2), n, none,
+		func(lo, hi int) (pairCand, error) {
+			b := none
+			for i := lo; i < hi; i++ {
+				if !alive[i] {
+					continue
+				}
+				row := d.UpperRow(i)
+				for jj, v := range row {
+					if j := i + 1 + jj; alive[j] && v < b.d {
+						b = pairCand{i: i, j: j, d: v}
+					}
+				}
+			}
+			return b, nil
+		},
+		func(acc, next pairCand) pairCand {
+			if next.d < acc.d {
+				return next
+			}
+			return acc
+		})
+	parallel.Must(err)
+	return best.i, best.j, best.d
 }
 
 // Cut returns flat cluster labels for the partition into k clusters: the
@@ -182,10 +237,24 @@ func (den *Dendrogram) Heights() []float64 {
 	return out
 }
 
-// HammingMatrix builds the normalized Hamming dissimilarity matrix of a
-// categorical data set, the default input for hierarchical clustering of
-// qualitative features. The O(n²) computation is row-chunked across all
-// available cores; use HammingMatrixWorkers to bound the parallelism.
+// HammingCondensed builds the normalized Hamming dissimilarity matrix of a
+// categorical data set in condensed triangular form — the preferred input for
+// BuildCondensed (half the memory of the dense matrix). The O(n²·d) fill is
+// tiled across all available cores; use HammingCondensedWorkers to bound the
+// parallelism.
+func HammingCondensed(rows [][]int) *similarity.Condensed {
+	return similarity.DissimilarityCondensed(rows, 0)
+}
+
+// HammingCondensedWorkers is HammingCondensed with an explicit worker bound
+// (≤ 0 → GOMAXPROCS, 1 → sequential). The result is identical at any
+// parallelism level.
+func HammingCondensedWorkers(rows [][]int, workers int) *similarity.Condensed {
+	return similarity.DissimilarityCondensed(rows, workers)
+}
+
+// HammingMatrix is the dense shim over HammingCondensed, kept for callers
+// that need the classic [][]float64 form.
 func HammingMatrix(rows [][]int) [][]float64 {
 	return similarity.DissimilarityMatrix(rows, 0)
 }

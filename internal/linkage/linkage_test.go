@@ -8,6 +8,7 @@ import (
 
 	"mcdc/internal/datasets"
 	"mcdc/internal/metrics"
+	"mcdc/internal/similarity"
 )
 
 // chainMatrix: four points on a line at 0, 1, 3, 7.
@@ -148,5 +149,78 @@ func TestBuildErrors(t *testing.T) {
 func TestMethodString(t *testing.T) {
 	if Single.String() != "single" || Complete.String() != "complete" || Average.String() != "average" {
 		t.Error("Method.String broken")
+	}
+}
+
+// sameDendrogram asserts two dendrograms are bit-for-bit identical: same
+// merge pairs, parents, and (exact float) heights.
+func sameDendrogram(t *testing.T, a, b *Dendrogram, context string) {
+	t.Helper()
+	if a.N != b.N || len(a.Merges) != len(b.Merges) {
+		t.Fatalf("%s: shape differs: N %d vs %d, %d vs %d merges", context, a.N, b.N, len(a.Merges), len(b.Merges))
+	}
+	for s := range a.Merges {
+		if a.Merges[s] != b.Merges[s] {
+			t.Fatalf("%s: merge %d differs: %+v vs %+v", context, s, a.Merges[s], b.Merges[s])
+		}
+	}
+}
+
+// TestBuildCondensedMatchesDense pins the tentpole equivalence: on random
+// categorical data, the condensed build must produce a dendrogram identical
+// to the dense path for every linkage method — same merges, same exact
+// heights, same cuts.
+func TestBuildCondensedMatchesDense(t *testing.T) {
+	for seedOffset, n := range []int{60, 150} {
+		ds := datasets.Synthetic("t", n, 7, 4, 0.8, rand.New(rand.NewSource(int64(52+seedOffset))))
+		dense := HammingMatrix(ds.Rows)
+		cond := HammingCondensed(ds.Rows)
+		for _, method := range []Method{Single, Complete, Average} {
+			dd, err := Build(dense, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd, err := BuildCondensed(cond, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDendrogram(t, dd, cd, method.String())
+			for _, k := range []int{2, 4} {
+				if !reflect.DeepEqual(dd.Cut(k), cd.Cut(k)) {
+					t.Fatalf("%v: Cut(%d) differs between dense and condensed", method, k)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildCondensedParallelEquivalence pins the parallelized nearest-pair
+// scan: the dendrogram must be identical at parallelism 1, 2, and GOMAXPROCS.
+func TestBuildCondensedParallelEquivalence(t *testing.T) {
+	ds := datasets.Synthetic("t", 180, 6, 3, 0.75, rand.New(rand.NewSource(53)))
+	cond := HammingCondensedWorkers(ds.Rows, 1)
+	for _, method := range []Method{Single, Complete, Average} {
+		seq, err := BuildCondensedWorkers(cond, method, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 0} {
+			par, err := BuildCondensedWorkers(cond, method, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDendrogram(t, seq, par, method.String())
+		}
+	}
+}
+
+// TestBuildCondensedErrors mirrors the dense error cases on the condensed
+// entry point.
+func TestBuildCondensedErrors(t *testing.T) {
+	if _, err := BuildCondensed(similarity.NewCondensed(0, 0), Single); err == nil {
+		t.Error("empty condensed matrix: want error")
+	}
+	if _, err := BuildCondensed(similarity.NewCondensed(3, 0), Method(99)); err == nil {
+		t.Error("unknown method: want error")
 	}
 }

@@ -19,59 +19,106 @@ func RowMatches(a, b []int) int {
 	return m
 }
 
-// PairwiseMatrix computes the n×n object–object similarity matrix under
-// simple matching: S[i][j] is the fraction of features on which rows i and j
-// take the same (non-missing) value, with S[i][i] = 1 by convention. The
-// O(n²·d) upper triangle is row-chunked across at most `workers` goroutines
-// (≤ 0 → GOMAXPROCS) and mirrored; every cell is written exactly once, so
-// the result is identical at any parallelism level.
-func PairwiseMatrix(rows [][]int, workers int) [][]float64 {
+// PairwiseCondensed computes the object–object similarity matrix under simple
+// matching in condensed triangular form: At(i, j) is the fraction of features
+// on which rows i and j take the same (non-missing) value, with the implicit
+// diagonal 1. The O(n²·d) fill is tiled over the flat triangle index across
+// at most `workers` goroutines (≤ 0 → GOMAXPROCS) — tiles are equal-sized
+// runs of pairs, so the schedule stays balanced even though early rows own
+// more pairs than late ones — and every entry is written exactly once, so the
+// result is identical at any parallelism level.
+func PairwiseCondensed(rows [][]int, workers int) *Condensed {
 	return pairwise(rows, workers, false)
 }
 
-// DissimilarityMatrix computes the n×n normalized Hamming dissimilarity
-// matrix, D[i][j] = kmodes.Hamming(i, j)/d with D[i][i] = 0 — the standard
-// input for hierarchical clustering of categorical rows. Parallelized
-// exactly like PairwiseMatrix. Both matrices divide an integer count by d,
-// so each is bit-identical to its sequential (and pre-parallel) computation.
-func DissimilarityMatrix(rows [][]int, workers int) [][]float64 {
+// DissimilarityCondensed computes the normalized Hamming dissimilarity matrix
+// in condensed form, At(i, j) = kmodes.Hamming(i, j)/d with implicit diagonal
+// 0 — the standard input for hierarchical clustering of categorical rows.
+// Tiled and parallelized exactly like PairwiseCondensed.
+func DissimilarityCondensed(rows [][]int, workers int) *Condensed {
 	return pairwise(rows, workers, true)
 }
 
-func pairwise(rows [][]int, workers int, dissim bool) [][]float64 {
+// PairwiseMatrix is the dense-representation shim over PairwiseCondensed: it
+// computes the condensed triangle and expands it to the classic n×n
+// [][]float64. Both steps divide an integer count by d and copy, so the dense
+// and condensed paths are value-identical by construction. Dense callers pay
+// 3× the condensed memory (triangle + square); prefer PairwiseCondensed.
+func PairwiseMatrix(rows [][]int, workers int) [][]float64 {
+	return pairwise(rows, workers, false).Dense(workers)
+}
+
+// DissimilarityMatrix is the dense shim over DissimilarityCondensed, kept for
+// source compatibility; prefer the condensed form for anything sized by n².
+func DissimilarityMatrix(rows [][]int, workers int) [][]float64 {
+	return pairwise(rows, workers, true).Dense(workers)
+}
+
+// MeanPairwise returns the mean pairwise simple-matching similarity of the
+// rows — a cohesion summary (1 = all rows identical). A set of fewer than two
+// rows is perfectly cohesive by convention. The O(n²·d) accumulation streams
+// the same tiled pair order as PairwiseCondensed without materializing the
+// matrix (O(1) memory per tile); tile boundaries depend only on the pair
+// count and per-tile sums fold in tile order, so the value is deterministic
+// at any parallelism level.
+func MeanPairwise(rows [][]int, workers int) float64 {
 	n := len(rows)
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, n)
-	}
-	if n == 0 {
-		return out
+	if n < 2 {
+		return 1
 	}
 	d := len(rows[0])
+	pairs := n * (n - 1) / 2
+	sum, err := parallel.MapReduce(parallel.Gate(workers, pairs*d), pairs, 0.0,
+		func(lo, hi int) (float64, error) {
+			i, j := pairAt(n, lo)
+			ri := rows[i]
+			var s float64
+			for t := lo; t < hi; t++ {
+				s += float64(RowMatches(ri, rows[j])) / float64(d)
+				if j++; j == n {
+					i++
+					j = i + 1
+					ri = rows[i]
+				}
+			}
+			return s, nil
+		},
+		func(acc, next float64) float64 { return acc + next })
+	parallel.Must(err)
+	return sum / float64(pairs)
+}
+
+func pairwise(rows [][]int, workers int, dissim bool) *Condensed {
+	n := len(rows)
 	diag := 1.0
 	if dissim {
 		diag = 0
 	}
-	// Row chunks of the upper triangle: chunk c owns cells (i, j>i) for its
-	// rows, plus the mirror writes (j, i). Distinct goroutines touch distinct
-	// cells only, so no synchronization is needed. Early rows carry more
-	// cells than late ones; chunking far finer than realistic worker counts
-	// keeps the dynamic schedule balanced (at most maxChunks chunks, the
-	// layer's parallelism ceiling).
-	parallel.Must(parallel.ForEachChunk(parallel.Gate(workers, n*n*d), n, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			ri := rows[i]
-			out[i][i] = diag
-			for j := i + 1; j < n; j++ {
-				m := RowMatches(ri, rows[j])
-				if dissim {
-					m = d - m
-				}
-				s := float64(m) / float64(d)
-				out[i][j], out[j][i] = s, s
+	c := NewCondensed(n, diag)
+	if n < 2 {
+		return c
+	}
+	d := len(rows[0])
+	// Tiles are contiguous runs of the flat triangle index: chunk boundaries
+	// depend only on the pair count, each flat slot is written by exactly one
+	// goroutine, and (i, j) are recovered once per tile then advanced
+	// incrementally.
+	parallel.Must(parallel.ForEachChunk(parallel.Gate(workers, c.Pairs()*d), c.Pairs(), func(lo, hi int) error {
+		i, j := pairAt(n, lo)
+		ri := rows[i]
+		for t := lo; t < hi; t++ {
+			m := RowMatches(ri, rows[j])
+			if dissim {
+				m = d - m
+			}
+			c.data[t] = float64(m) / float64(d)
+			if j++; j == n {
+				i++
+				j = i + 1
+				ri = rows[i]
 			}
 		}
 		return nil
 	}))
-	return out
+	return c
 }

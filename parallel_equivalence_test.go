@@ -6,9 +6,14 @@ package mcdc_test
 // equivalence gate the CI workflow runs under the race detector.
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"mcdc"
+	"mcdc/internal/encoding"
+	"mcdc/internal/experiments"
+	"mcdc/internal/linkage"
 )
 
 func equalIntSlices(a, b []int) bool {
@@ -83,6 +88,95 @@ func TestExploreParallelismEquivalence(t *testing.T) {
 	for j := range seq.Levels {
 		if !equalIntSlices(seq.Levels[j], par.Levels[j]) {
 			t.Fatalf("level %d labels differ between parallelism 1 and 8", j)
+		}
+	}
+}
+
+// TestKMeansParallelismEquivalence pins the parallelized Lloyd sweeps of the
+// one-hot baseline: for a fixed seed, k-means labels must be bit-for-bit
+// identical at parallelism 1, 2, and GOMAXPROCS (each point's nearest center
+// is computed independently; reductions and rng draws stay sequential).
+func TestKMeansParallelismEquivalence(t *testing.T) {
+	ds := mcdc.SyntheticDataset("kmeq", 600, 12, 4, 3)
+	points, err := encoding.OneHot(ds.Rows, ds.Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []int {
+		labels, err := encoding.KMeans(points, encoding.KMeansConfig{
+			K:       4,
+			Rand:    rand.New(rand.NewSource(9)),
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 0} {
+		if par := run(workers); !equalIntSlices(seq, par) {
+			t.Errorf("kmeans labels differ between parallelism 1 and %d", workers)
+		}
+	}
+}
+
+// TestLinkageParallelismEquivalence pins the parallelized nearest-pair scans
+// of dendrogram merging on a real benchmark data set, and the condensed
+// path's identity with the dense one.
+func TestLinkageParallelismEquivalence(t *testing.T) {
+	ds, err := mcdc.Builtin("Vot.", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := linkage.HammingCondensedWorkers(ds.Rows, 0)
+	seq, err := linkage.BuildCondensedWorkers(cond, linkage.Average, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 0} {
+		par, err := linkage.BuildCondensedWorkers(cond, linkage.Average, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Merges, par.Merges) {
+			t.Fatalf("dendrogram differs between parallelism 1 and %d", workers)
+		}
+		if !equalIntSlices(seq.Cut(2), par.Cut(2)) {
+			t.Fatalf("cut labels differ between parallelism 1 and %d", workers)
+		}
+	}
+	dense, err := linkage.Build(linkage.HammingMatrix(ds.Rows), linkage.Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Merges, dense.Merges) {
+		t.Fatal("condensed dendrogram differs from the dense path")
+	}
+}
+
+// TestExperimentsFanoutEquivalence pins the per-dataset fan-out of the
+// experiments harness: the Table-III cells must be bit-for-bit identical at
+// parallelism 1, 2, and GOMAXPROCS.
+func TestExperimentsFanoutEquivalence(t *testing.T) {
+	run := func(workers int) *experiments.Table3 {
+		t3, err := experiments.RunTable3(experiments.Table3Config{
+			Runs:     2,
+			Seed:     3,
+			Datasets: []string{"Vot.", "Bal."},
+			Methods:  []string{"K-MODES", "WOCIL"},
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t3
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 0} {
+		par := run(workers)
+		if !reflect.DeepEqual(seq.Cells, par.Cells) {
+			t.Errorf("Table III cells differ between parallelism 1 and %d", workers)
 		}
 	}
 }
