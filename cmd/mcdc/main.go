@@ -5,9 +5,14 @@
 // Usage:
 //
 //	mcdc -in data.csv [-k 3] [-seed 1] [-header] [-class -1] [-out labels.csv]
+//	mcdc -in data.csv -save model.bin      # train, then freeze a serving model
+//	mcdc -in data.csv -model model.bin     # assign without re-learning
 //
 // When -k is omitted (or 0), the number of clusters estimated by MGCPL
-// (k_σ) is used.
+// (k_σ) is used. -save writes a versioned model snapshot the mcdcd daemon
+// (or a later -model run) serves; -model is the fast path: it loads such a
+// snapshot and assigns the input rows against the frozen model, skipping
+// training entirely.
 package main
 
 import (
@@ -39,17 +44,26 @@ func run() error {
 		eta      = flag.Float64("eta", 0, "learning rate η (0 = paper default 0.03)")
 		k0       = flag.Int("k0", 0, "initial number of clusters k0 (0 = paper default √n)")
 		par      = flag.Int("parallel", 0, "worker goroutines (0 = all cores, 1 = sequential; results are identical at any setting)")
+		save     = flag.String("save", "", "after training, freeze the model into this snapshot file (for mcdcd / -model)")
+		modelIn  = flag.String("model", "", "assign against this frozen model snapshot instead of training")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -in")
 	}
+	if *modelIn != "" && *save != "" {
+		return fmt.Errorf("-model skips training, so there is nothing to -save")
+	}
 	ds, err := mcdc.ReadCSVFile(*in, *header, *classCol)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("loaded %s\n", ds)
+
+	if *modelIn != "" {
+		return assignWithModel(ds, *modelIn, *par, *out)
+	}
 
 	opts := []mcdc.Option{mcdc.WithSeed(*seed), mcdc.WithParallelism(*par)}
 	if *eta > 0 {
@@ -99,6 +113,63 @@ func run() error {
 			return err
 		}
 		fmt.Printf("labels written to %s\n", *out)
+	}
+	if *save != "" {
+		m, err := res.Model()
+		if err != nil {
+			return err
+		}
+		if err := m.Save(*save); err != nil {
+			return err
+		}
+		fmt.Printf("model snapshot written to %s (k=%d, %d features)\n", *save, m.K(), m.Features())
+	}
+	return nil
+}
+
+// assignWithModel is the -model fast path: load a frozen snapshot and assign
+// the input rows against it, with no learning pass.
+func assignWithModel(ds *mcdc.Dataset, path string, par int, out string) error {
+	m, err := mcdc.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded model %q: k=%d, kappa=%v, epoch=%d\n", m.Name(), m.K(), m.Kappa(), m.Epoch())
+	// AssignDataset re-codes the input's value labels onto the model's
+	// training dictionary, so a CSV whose values appear in a different
+	// order (and hence got different integer codes) still scores correctly.
+	assignments, err := m.AssignDataset(ds, par)
+	if err != nil {
+		return err
+	}
+	labels := make([]int, len(assignments))
+	sizes := make(map[int]int)
+	var meanSim float64
+	for i, a := range assignments {
+		labels[i] = a.Cluster
+		sizes[a.Cluster]++
+		meanSim += a.Similarity
+	}
+	meanSim /= float64(len(assignments))
+	fmt.Printf("assigned %d objects into %d clusters; sizes: %v; mean similarity %.3f\n",
+		len(labels), len(sizes), sizes, meanSim)
+	if ds.Labels != nil {
+		sc, err := mcdc.Evaluate(ds.Labels, labels)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vs ground truth: ACC=%.3f ARI=%.3f AMI=%.3f FM=%.3f\n", sc.ACC, sc.ARI, sc.AMI, sc.FM)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := writeLabels(f, labels); err != nil {
+			return err
+		}
+		fmt.Printf("labels written to %s\n", out)
 	}
 	return nil
 }

@@ -73,6 +73,64 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunSaveThenModelFastPath trains with -save, re-runs with -model, and
+// checks the fast path reproduces the training run's labels file.
+func TestRunSaveThenModelFastPath(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	var rows strings.Builder
+	rows.WriteString("a,b,c\n")
+	for i := 0; i < 90; i++ {
+		switch i % 3 {
+		case 0:
+			rows.WriteString("x,1,p\n")
+		case 1:
+			rows.WriteString("y,2,q\n")
+		default:
+			rows.WriteString("z,3,r\n")
+		}
+	}
+	if err := os.WriteFile(in, []byte(rows.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(dir, "model.bin")
+	trained := filepath.Join(dir, "trained.csv")
+	served := filepath.Join(dir, "served.csv")
+
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+
+	os.Args = []string{"mcdc", "-in", in, "-header", "-k", "3", "-save", model, "-out", trained}
+	resetFlags(t)
+	if err := run(); err != nil {
+		t.Fatalf("train+save: %v", err)
+	}
+	os.Args = []string{"mcdc", "-in", in, "-header", "-model", model, "-out", served}
+	resetFlags(t)
+	if err := run(); err != nil {
+		t.Fatalf("model fast path: %v", err)
+	}
+
+	want, err := os.ReadFile(trained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("fast-path labels differ from training labels:\n%s\nvs\n%s", got, want)
+	}
+
+	// -model and -save together is a contradiction.
+	os.Args = []string{"mcdc", "-in", in, "-header", "-model", model, "-save", model}
+	resetFlags(t)
+	if err := run(); err == nil {
+		t.Error("-model with -save: want error")
+	}
+}
+
 func TestRunMissingInput(t *testing.T) {
 	oldArgs := os.Args
 	defer func() { os.Args = oldArgs }()

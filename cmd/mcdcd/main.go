@@ -1,0 +1,131 @@
+// Command mcdcd is the MCDC model-serving daemon: it hosts a registry of
+// frozen model snapshots (trained with `mcdc -save`) plus a pool of
+// streaming sessions, and answers cluster-assignment queries over HTTP/JSON.
+//
+// Usage:
+//
+//	mcdcd -model nodes=nodes.bin [-model other=other.bin] [-addr 127.0.0.1:8080]
+//	      [-relearn 10m] [-relearn-min 64] [-buffer 4096]
+//	      [-seed 1] [-parallel 0] [-shards 16] [-addr-file path]
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//	curl -X POST localhost:8080/assign -d '{"model":"nodes","row":[0,1,2]}'
+//	curl -X POST localhost:8080/assign/batch -d '{"model":"nodes","rows":[[0,1,2],[1,1,0]]}'
+//	curl -X POST localhost:8080/models -d '{"name":"fresh","path":"fresh.bin"}'
+//
+// -addr supports port 0 (pick a free port); the resolved address is printed
+// on stdout and, with -addr-file, written to a file so scripts can wait for
+// the daemon deterministically. With -relearn > 0 a background worker
+// periodically re-trains every model on its recent traffic window and
+// hot-swaps it under a bumped epoch.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mcdc/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdcd:", err)
+		os.Exit(1)
+	}
+}
+
+// modelFlags collects repeated -model name=path arguments.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string { return fmt.Sprintf("%d models", len(*m)) }
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func run() error {
+	var models modelFlags
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = pick a free port)")
+		addrFile   = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+		relearn    = flag.Duration("relearn", 0, "background re-learn interval (0 = disabled)")
+		relearnMin = flag.Int("relearn-min", 64, "minimum buffered traffic rows before a re-learn")
+		buffer     = flag.Int("buffer", 4096, "per-model traffic window capacity")
+		seed       = flag.Int64("seed", 1, "base random seed for re-learning and sessions")
+		par        = flag.Int("parallel", 0, "worker goroutines per request fan-out (0 = all cores)")
+		shards     = flag.Int("shards", 16, "lock shards of the streaming-session pool")
+		window     = flag.Int("session-window", 0, "default window size of new sessions (0 = stream default)")
+	)
+	flag.Var(&models, "model", "serve a model snapshot as name=path (repeatable)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Seed:                 *seed,
+		Workers:              *par,
+		SessionShards:        *shards,
+		RelearnEvery:         *relearn,
+		RelearnMin:           *relearnMin,
+		BufferSize:           *buffer,
+		DefaultSessionWindow: *window,
+		Logf:                 log.Printf,
+	})
+	defer srv.Close()
+	for _, m := range models {
+		if _, err := srv.LoadModelFile(m.name, m.path); err != nil {
+			return err
+		}
+	}
+	if len(models) == 0 {
+		log.Printf("no -model given; starting empty (load models via POST /models)")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	fmt.Printf("mcdcd listening on %s\n", resolved)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

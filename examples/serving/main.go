@@ -1,0 +1,127 @@
+// Model serving: the batch-train / online-assign split. A model is trained
+// once, frozen to a versioned snapshot file, and served by the mcdcd daemon
+// core over HTTP — the long-lived service a scheduler consults to ask
+// "which performance-consistent group does this node belong to?" without
+// ever re-learning in-process.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"mcdc"
+	"mcdc/internal/server"
+)
+
+func main() {
+	// 1. Train offline and freeze the model (what `mcdc -save` does).
+	ds := mcdc.SyntheticDataset("nodes", 600, 8, 3, 1)
+	res, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "mcdc-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "nodes.bin")
+	if err := m.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained and froze model: k=%d, kappa=%v → %s\n", m.K(), m.Kappa(), path)
+
+	// 2. Serve it (what `mcdcd -model nodes=nodes.bin` does).
+	srv := server.New(server.Config{Seed: 1})
+	defer srv.Close()
+	if _, err := srv.LoadModelFile("nodes", path); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("mcdcd core listening on %s\n", base)
+
+	// 3. Query it like any client would.
+	var health struct {
+		Status string         `json:"status"`
+		Models map[string]int `json:"models"`
+	}
+	getJSON(base+"/healthz", &health)
+	fmt.Printf("healthz: %s, models=%v\n", health.Status, health.Models)
+
+	var a struct {
+		Cluster    int     `json:"cluster"`
+		Similarity float64 `json:"similarity"`
+		Epoch      int     `json:"epoch"`
+	}
+	postJSON(base+"/assign", map[string]any{"model": "nodes", "row": ds.Rows[0]}, &a)
+	fmt.Printf("assign row 0 → cluster %d (similarity %.2f, epoch %d); training label was %d\n",
+		a.Cluster, a.Similarity, a.Epoch, res.Labels[0])
+
+	var batch struct {
+		Assignments []struct {
+			Cluster int `json:"cluster"`
+		} `json:"assignments"`
+	}
+	postJSON(base+"/assign/batch", map[string]any{"model": "nodes", "rows": ds.Rows[:10]}, &batch)
+	agree := 0
+	for i, ba := range batch.Assignments {
+		if ba.Cluster == res.Labels[i] {
+			agree++
+		}
+	}
+	fmt.Printf("batch assign: %d/%d rows match the in-process labels\n", agree, len(batch.Assignments))
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decodeBody(resp, v)
+}
+
+func postJSON(url string, body, v any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decodeBody(resp, v)
+}
+
+func decodeBody(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s", resp.Status, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -29,11 +29,18 @@ type CAMEConfig struct {
 }
 
 // CAMEResult carries the output of Algorithm 2: the final partition Q (as
-// dense labels) and the learned granularity-feature importances Θ.
+// dense labels), the learned granularity-feature importances Θ, and the
+// converged cluster modes. The modes are part of the learned model — a
+// serving layer assigns fresh objects by θ-weighted Hamming distance to them
+// — so they are exported here rather than staying trapped in the internal
+// optimization state.
 type CAMEResult struct {
 	Labels []int
 	Theta  []float64
-	Iters  int
+	// Modes[l] is cluster l's converged per-column mode over the Γ encoding
+	// (k rows of σ columns).
+	Modes [][]int
+	Iters int
 }
 
 // RunCAME clusters the Γ encoding produced by MGCPL (an n×σ matrix of
@@ -109,7 +116,11 @@ func RunCAME(encoding [][]int, cfg CAMEConfig) (*CAMEResult, error) {
 		}
 		labels = next
 	}
-	return &CAMEResult{Labels: labels, Theta: st.theta, Iters: iters + 1}, nil
+	modes := make([][]int, len(st.modes))
+	for l := range st.modes {
+		modes[l] = append([]int(nil), st.modes[l]...)
+	}
+	return &CAMEResult{Labels: labels, Theta: st.theta, Modes: modes, Iters: iters + 1}, nil
 }
 
 type cameState struct {

@@ -25,6 +25,9 @@ type Coordinator struct {
 	remaining int
 	collected []ShardStats
 
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // live worker connections, closed by Close
+
 	done     chan struct{} // closed when all shards completed
 	quit     chan struct{} // closed by Close to stop the accept loop
 	quitOnce sync.Once     // guards quit/listener teardown against concurrent Close calls
@@ -41,6 +44,7 @@ func NewCoordinator(rows [][]int, cardinalities []int, plan *Placement) (*Coordi
 	c := &Coordinator{
 		rows:      rows,
 		card:      cardinalities,
+		conns:     make(map[net.Conn]struct{}),
 		queue:     make(chan Shard, len(plan.Shards)),
 		results:   make(chan ShardStats, len(plan.Shards)),
 		remaining: len(plan.Shards),
@@ -99,12 +103,34 @@ func (c *Coordinator) collectLoop() {
 	}
 }
 
-// serveWorker runs the task/result loop for one worker connection.
+// serveWorker runs the version handshake and then the task/result loop for
+// one worker connection. A worker that fails the handshake is dropped before
+// any shard is dispatched to it, so the job is unaffected.
 func (c *Coordinator) serveWorker(conn net.Conn) {
 	defer c.wg.Done()
 	defer conn.Close()
+	// Track the connection so Close can unblock a serveWorker parked in a
+	// Decode (e.g. a peer that connects and then stalls mid-handshake) —
+	// gob reads have no deadline, so closing the conn is the only lever.
+	c.connMu.Lock()
+	c.conns[conn] = struct{}{}
+	c.connMu.Unlock()
+	defer func() {
+		c.connMu.Lock()
+		delete(c.conns, conn)
+		c.connMu.Unlock()
+	}()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(message{Kind: kindHello, Proto: ProtocolVersion}); err != nil {
+		return
+	}
+	var hello message
+	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello || hello.Proto != ProtocolVersion {
+		// Mismatched or unversioned worker build: drop the connection
+		// without handing it work.
+		return
+	}
 	for {
 		var shard Shard
 		select {
@@ -174,6 +200,13 @@ func (c *Coordinator) Close() error {
 		if c.listener != nil {
 			c.closeErr = c.listener.Close()
 		}
+		// Unblock serveWorkers parked in gob reads on stalled peers; their
+		// Decode fails and they exit, so the wg.Wait below cannot hang.
+		c.connMu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.connMu.Unlock()
 	})
 	c.wg.Wait()
 	return c.closeErr

@@ -1,7 +1,10 @@
 package distsim
 
 import (
+	"encoding/gob"
 	"math/rand"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -267,5 +270,139 @@ func TestCoordinatorConcurrentClose(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("concurrent Close deadlocked")
+	}
+}
+
+// TestWorkerRejectsVersionMismatch pins the fail-fast path of the version
+// handshake: a coordinator speaking a different protocol version yields a
+// clear error mentioning both versions, not a decode panic mid-job.
+func TestWorkerRejectsVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = gob.NewEncoder(conn).Encode(message{Kind: kindHello, Proto: ProtocolVersion + 7})
+		// Hold the connection open so the worker's error comes from the
+		// version check, not a hangup.
+		var reply message
+		_ = gob.NewDecoder(conn).Decode(&reply)
+	}()
+	_, err = (&Worker{}).Run(ln.Addr().String())
+	if err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Fatalf("error does not name the mismatch: %v", err)
+	}
+}
+
+// TestWorkerRejectsUnversionedCoordinator covers a pre-handshake (v1) build:
+// the first frame is a task, and the worker must refuse it by name.
+func TestWorkerRejectsUnversionedCoordinator(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = gob.NewEncoder(conn).Encode(message{Kind: kindTask, ShardID: 1, Rows: [][]int{{0}}, Cardinalities: []int{1}})
+		var reply message
+		_ = gob.NewDecoder(conn).Decode(&reply)
+	}()
+	_, err = (&Worker{}).Run(ln.Addr().String())
+	if err == nil || !strings.Contains(err.Error(), "version handshake") {
+		t.Fatalf("unversioned coordinator not refused by name: %v", err)
+	}
+}
+
+// TestCoordinatorDropsMismatchedWorker checks the other direction: the
+// coordinator hands no work to a worker that answers the handshake with the
+// wrong version, and the job still completes through a good worker.
+func TestCoordinatorDropsMismatchedWorker(t *testing.T) {
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// A mismatched "worker": completes the handshake with a wrong version
+	// and then expects the connection to be closed without any task frame.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	var hello message
+	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello || hello.Proto != ProtocolVersion {
+		t.Fatalf("coordinator hello = %+v, err %v", hello, err)
+	}
+	if err := enc.Encode(message{Kind: kindHello, Proto: ProtocolVersion - 1}); err != nil {
+		t.Fatal(err)
+	}
+	var frame message
+	if err := dec.Decode(&frame); err == nil {
+		t.Fatalf("mismatched worker was handed a frame: %+v", frame)
+	}
+
+	// A good worker completes the whole job.
+	go func() { _, _ = (&Worker{}).Run(addr) }()
+	done := make(chan []ShardStats, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case stats := <-done:
+		if len(stats) != len(plan.Shards) {
+			t.Fatalf("collected %d shard stats, want %d", len(stats), len(plan.Shards))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not complete after dropping the mismatched worker")
+	}
+}
+
+// TestCloseUnblocksStalledHandshake pins the teardown contract: a peer that
+// connects and then goes silent parks serveWorker in a gob read; Close must
+// close the connection and return instead of hanging in wg.Wait.
+func TestCloseUnblocksStalledHandshake(t *testing.T) {
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Never answer the handshake; give the coordinator a moment to accept
+	// and park in the hello decode.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stalled handshake connection")
 	}
 }

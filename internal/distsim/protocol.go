@@ -3,7 +3,17 @@ package distsim
 import "mcdc/internal/similarity"
 
 // Wire protocol between the coordinator and its workers. Every frame is one
-// gob-encoded message; Kind discriminates the payload.
+// gob-encoded message; Kind discriminates the payload. A connection opens
+// with a version handshake — the coordinator sends a hello frame carrying
+// ProtocolVersion and the worker must answer with a matching hello — so
+// mismatched builds fail fast with a clear error instead of a decode panic
+// (or silently mis-interpreted statistics) mid-job.
+
+// ProtocolVersion is the distsim wire-format version. Bump it whenever the
+// message struct or the frame sequence changes incompatibly. Version 1 was
+// the original handshake-less protocol; a v1 peer fails the handshake with
+// an "unversioned build" error rather than a gob mismatch.
+const ProtocolVersion = 2
 
 // messageKind discriminates protocol frames.
 type messageKind int
@@ -15,11 +25,16 @@ const (
 	kindResult
 	// kindDone tells the worker no work remains.
 	kindDone
+	// kindHello opens a connection in both directions, carrying Proto.
+	kindHello
 )
 
 // message is the single frame type exchanged over the wire.
 type message struct {
 	Kind messageKind
+
+	// Proto is the sender's ProtocolVersion (hello frames only).
+	Proto int
 
 	// Task fields (coordinator → worker).
 	ShardID       int

@@ -24,6 +24,21 @@ func (w *Worker) Run(addr string) (int, error) {
 	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
+	// Version handshake: the coordinator speaks first; both sides must agree
+	// on ProtocolVersion before any shard moves.
+	var hello message
+	if err := dec.Decode(&hello); err != nil {
+		return 0, fmt.Errorf("distsim: handshake: %w", err)
+	}
+	if hello.Kind != kindHello {
+		return 0, fmt.Errorf("distsim: coordinator opened with frame kind %d, not a version handshake (unversioned v1 build?)", hello.Kind)
+	}
+	if hello.Proto != ProtocolVersion {
+		return 0, fmt.Errorf("distsim: protocol version mismatch: coordinator speaks v%d, this worker speaks v%d — rebuild both sides from the same source", hello.Proto, ProtocolVersion)
+	}
+	if err := enc.Encode(message{Kind: kindHello, Proto: ProtocolVersion}); err != nil {
+		return 0, fmt.Errorf("distsim: handshake reply: %w", err)
+	}
 	processed := 0
 	for {
 		var task message

@@ -1,0 +1,255 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mcdc/internal/core"
+	"mcdc/internal/datasets"
+)
+
+// trainSnapshot runs the full MCDC pipeline on a separable synthetic set and
+// freezes it.
+func trainSnapshot(t *testing.T, n, d, k int, seed int64) (*Snapshot, *core.MCDCResult, [][]int) {
+	t.Helper()
+	ds := datasets.Synthetic("train", n, d, k, 0.9, rand.New(rand.NewSource(seed)))
+	res, err := core.RunMCDC(ds.Rows, ds.Cardinalities(), core.MCDCConfig{
+		MGCPL: core.MGCPLConfig{Rand: rand.New(rand.NewSource(seed))},
+		CAME:  core.CAMEConfig{K: k},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Build(ds.Rows, ds.Cardinalities(), res.Encoding, res.CAME.Modes, res.CAME.Theta, res.MGCPL.Kappa(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, res, ds.Rows
+}
+
+// TestAssignReproducesTraining pins the serving contract: on well-separated
+// training data, Assign returns exactly the labels Cluster() produced.
+func TestAssignReproducesTraining(t *testing.T) {
+	snap, res, rows := trainSnapshot(t, 400, 8, 3, 7)
+	for i, row := range rows {
+		a, err := snap.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cluster != res.Labels[i] {
+			t.Fatalf("row %d: model assigned %d, training labeled %d", i, a.Cluster, res.Labels[i])
+		}
+		if a.Similarity < 0 || a.Similarity > 1 {
+			t.Fatalf("row %d: similarity %v outside [0,1]", i, a.Similarity)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	snap, _, rows := trainSnapshot(t, 300, 6, 3, 11)
+	snap.Name = "round-trip"
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "round-trip" || loaded.K != snap.K || loaded.TrainN != snap.TrainN {
+		t.Fatalf("metadata changed across round-trip: %+v", loaded)
+	}
+	if !reflect.DeepEqual(loaded.Kappa, snap.Kappa) || !reflect.DeepEqual(loaded.Theta, snap.Theta) {
+		t.Fatal("kappa/theta changed across round-trip")
+	}
+	// Bit-stability: the loaded model must assign identically to the source.
+	for _, row := range rows {
+		want, err := snap.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("assignment diverged after round-trip: %+v vs %+v", want, got)
+		}
+	}
+}
+
+func TestSaveFileAtomicAndLoadFile(t *testing.T) {
+	snap, _, _ := trainSnapshot(t, 200, 5, 2, 3)
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := snap.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbageAndVersions(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot at all"))); err != ErrNotSnapshot {
+		t.Fatalf("garbage: got %v, want ErrNotSnapshot", err)
+	}
+	if _, err := Load(bytes.NewReader([]byte("MC"))); err != ErrNotSnapshot {
+		t.Fatalf("truncated: got %v, want ErrNotSnapshot", err)
+	}
+
+	snap, _, _ := trainSnapshot(t, 100, 4, 2, 5)
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip the version byte: must fail with a VersionError before any gob
+	// decoding happens.
+	bad := append([]byte(nil), raw...)
+	bad[len(magic)+1] = FormatVersion + 1
+	var verr *VersionError
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	} else if !errors.As(err, &verr) {
+		t.Fatalf("future version: got %v, want *VersionError", err)
+	} else if verr.Got != FormatVersion+1 || verr.Want != FormatVersion {
+		t.Fatalf("version error carries %+v", verr)
+	}
+
+	// Wrong kind: a stream checkpoint is not a model.
+	bad = append([]byte(nil), raw...)
+	bad[len(magic)] = kindStream
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	snap, _, _ := trainSnapshot(t, 100, 4, 2, 9)
+	if _, err := snap.Assign([]int{0}); err == nil {
+		t.Fatal("wrong row width accepted")
+	}
+	var raw Snapshot // never went through Build/Load
+	if _, err := raw.Assign(make([]int, 0)); err == nil {
+		t.Fatal("uninitialized snapshot served an assignment")
+	}
+	// Out-of-domain values are tolerated (treated as no-match, not a crash).
+	a, err := snap.Assign([]int{99, -1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cluster < 0 || a.Cluster >= snap.K {
+		t.Fatalf("out-of-domain row landed in cluster %d of %d", a.Cluster, snap.K)
+	}
+}
+
+// TestAssignBatchParallelEquivalence pins the determinism contract for the
+// serving fan-out: batch assignment is bit-for-bit identical at any
+// parallelism level and matches the one-by-one path.
+func TestAssignBatchParallelEquivalence(t *testing.T) {
+	snap, _, rows := trainSnapshot(t, 500, 8, 3, 13)
+	seq, err := snap.AssignBatch(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		par, err := snap.AssignBatch(rows, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d diverged from sequential batch", workers)
+		}
+	}
+	for i, row := range rows {
+		one, err := snap.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(one, seq[i]) {
+			t.Fatalf("row %d: batch %+v vs single %+v", i, seq[i], one)
+		}
+	}
+}
+
+func TestFromLabelsFlatModel(t *testing.T) {
+	ds := datasets.Synthetic("flat", 300, 6, 3, 0.9, rand.New(rand.NewSource(21)))
+	snap, err := FromLabels(ds.Rows, ds.Cardinalities(), ds.Labels, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i, row := range ds.Rows {
+		a, err := snap.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cluster == ds.Labels[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(ds.Rows)); frac < 0.95 {
+		t.Fatalf("flat model agreement %v on separable data, want ≥ 0.95", frac)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	rows := [][]int{{0, 1}, {1, 0}}
+	card := []int{2, 2}
+	if _, err := Build(nil, card, nil, nil, nil, nil, 1); err == nil {
+		t.Fatal("empty build accepted")
+	}
+	if _, err := Build(rows, card, [][]int{{0}, {1}}, [][]int{{0}}, []float64{1}, nil, 2); err == nil {
+		t.Fatal("mode count ≠ k accepted")
+	}
+	if _, err := Build(rows, card, [][]int{{0}, {1}}, [][]int{{0}, {1, 1}}, []float64{1}, nil, 2); err == nil {
+		t.Fatal("ragged mode accepted")
+	}
+	if _, err := Build(rows, card, [][]int{{0, 0}, {1, 1}}, [][]int{{0}, {1}}, []float64{1}, nil, 2); err == nil {
+		t.Fatal("encoding/theta width mismatch accepted")
+	}
+}
+
+func TestStreamStateRoundTrip(t *testing.T) {
+	st := &StreamState{
+		Cardinalities: []int{2, 3},
+		WindowSize:    4,
+		RefreshEvery:  4,
+		Window:        [][]int{{0, 1}, {1, 2}},
+		Next:          0,
+		K:             2,
+		Epoch:         3,
+		Kappa:         []int{5, 2},
+		RandSeed:      42,
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("stream state changed across round-trip:\n%+v\n%+v", st, got)
+	}
+	// A model file is not a stream checkpoint.
+	snap, _, _ := trainSnapshot(t, 100, 4, 2, 5)
+	buf.Reset()
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStream(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("model snapshot accepted as stream checkpoint")
+	}
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mcdc/internal/similarity"
+)
+
+// StreamState is the serializable checkpoint of a streaming clusterer: its
+// configuration, the ring-buffer window in physical order (plus cursor), the
+// drift/refresh counters, and the current model tables. Restoring it resumes
+// the stream exactly where it left off — the warm window survives a restart
+// instead of being re-absorbed into a provisional single cluster.
+//
+// Determinism: Snapshot rotates the clusterer's random stream onto a fresh
+// sub-seed recorded in RandSeed, so the snapshotted original and any restore
+// continue on identical random streams — subsequent assignments (including
+// across re-learnings) are bit-for-bit identical between them.
+type StreamState struct {
+	// Cardinalities fixes the stream's feature schema.
+	Cardinalities []int
+
+	// Stream configuration (see stream.Config).
+	WindowSize     int
+	RefreshEvery   int
+	DriftThreshold float64
+	DriftFraction  float64
+
+	// MGCPL configuration (the numeric knobs of core.MGCPLConfig; the random
+	// source is reconstructed from RandSeed).
+	LearningRate   float64
+	InitialK       int
+	MaxInnerIters  int
+	MaxEpochs      int
+	RivalThreshold float64
+	Workers        int
+
+	// Window is the ring buffer in physical slot order; Next is the cursor.
+	// Physical order matters: re-learning presents the window as stored, so
+	// preserving slots (not just logical recency order) keeps post-restore
+	// re-learnings bit-identical to the original's.
+	Window [][]int
+	Next   int
+
+	// Model state.
+	K          int
+	Epoch      int
+	SinceFresh int
+	Drifted    int
+	Kappa      []int
+	// Tables holds the current model's frequency statistics; nil before the
+	// first re-learning.
+	Tables *similarity.TableState
+
+	// RandSeed seeds the random stream both sides continue on.
+	RandSeed int64
+}
+
+// Save writes the checkpoint to w in the versioned envelope format.
+func (st *StreamState) Save(w io.Writer) error {
+	return writeEnvelope(w, kindStream, st)
+}
+
+// SaveFile atomically writes the checkpoint to path.
+func (st *StreamState) SaveFile(path string) error {
+	return saveFile(path, func(w io.Writer) error { return st.Save(w) })
+}
+
+// LoadStream reads a stream checkpoint from r, verifying magic, kind, and
+// format version.
+func LoadStream(r io.Reader) (*StreamState, error) {
+	var st StreamState
+	if err := readEnvelope(r, kindStream, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// LoadStreamFile reads a stream checkpoint from a file.
+func LoadStreamFile(path string) (*StreamState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	st, err := LoadStream(f)
+	if err != nil {
+		return nil, fmt.Errorf("model: load %s: %w", path, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon's counters. Everything is an atomic — the assign
+// hot path never takes a lock to record an observation.
+type metrics struct {
+	assignTotal  atomic.Int64 // single assignments served
+	batchRows    atomic.Int64 // rows served through /assign/batch
+	assignErrors atomic.Int64
+	latencyNanos atomic.Int64 // cumulative assignment handler latency
+	latencyCount atomic.Int64
+	relearns     atomic.Int64 // background model swaps
+}
+
+func (m *metrics) observe(d time.Duration) {
+	m.latencyNanos.Add(int64(d))
+	m.latencyCount.Add(1)
+}
+
+// write emits the counters in Prometheus text exposition format, together
+// with the per-model gauges read live from the registry and session pool.
+func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, uptime time.Duration) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mcdcd_assign_total", "Single-row assignments served.", m.assignTotal.Load())
+	counter("mcdcd_assign_batch_rows_total", "Rows served through batch assignment.", m.batchRows.Load())
+	counter("mcdcd_assign_errors_total", "Assignment requests rejected.", m.assignErrors.Load())
+	counter("mcdcd_relearn_total", "Background re-learn model swaps.", m.relearns.Load())
+	counter("mcdcd_session_drift_total", "Session assignments below the drift similarity threshold.", pool.lowSimTotal())
+
+	fmt.Fprintf(w, "# HELP mcdcd_assign_latency_seconds_sum Cumulative assignment handler latency.\n")
+	fmt.Fprintf(w, "# TYPE mcdcd_assign_latency_seconds summary\n")
+	fmt.Fprintf(w, "mcdcd_assign_latency_seconds_sum %g\n", time.Duration(m.latencyNanos.Load()).Seconds())
+	fmt.Fprintf(w, "mcdcd_assign_latency_seconds_count %d\n", m.latencyCount.Load())
+
+	fmt.Fprintf(w, "# HELP mcdcd_model_epoch Current re-learn epoch of each served model.\n# TYPE mcdcd_model_epoch gauge\n")
+	models := reg.all()
+	for _, sm := range models {
+		fmt.Fprintf(w, "mcdcd_model_epoch{model=%q} %d\n", sm.name, sm.load().Epoch)
+	}
+	fmt.Fprintf(w, "# HELP mcdcd_model_drift_total Stateless assignments below the drift similarity threshold.\n# TYPE mcdcd_model_drift_total counter\n")
+	for _, sm := range models {
+		fmt.Fprintf(w, "mcdcd_model_drift_total{model=%q} %d\n", sm.name, sm.lowSim.Load())
+	}
+	fmt.Fprintf(w, "# HELP mcdcd_model_relearn_total Re-learn swaps of each served model.\n# TYPE mcdcd_model_relearn_total counter\n")
+	for _, sm := range models {
+		fmt.Fprintf(w, "mcdcd_model_relearn_total{model=%q} %d\n", sm.name, sm.relearns.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP mcdcd_sessions Live streaming sessions.\n# TYPE mcdcd_sessions gauge\nmcdcd_sessions %d\n", pool.count())
+	fmt.Fprintf(w, "# HELP mcdcd_uptime_seconds Daemon uptime.\n# TYPE mcdcd_uptime_seconds gauge\nmcdcd_uptime_seconds %g\n", uptime.Seconds())
+}

@@ -1,0 +1,462 @@
+// Package server implements mcdcd, the MCDC model-serving daemon: an
+// HTTP/JSON front end over frozen model snapshots (internal/model) and
+// streaming sessions (internal/stream). It institutionalizes the paper's
+// batch-train / online-assign split — models are trained offline (cmd/mcdc
+// -save), loaded into a hot-swappable registry, and queried concurrently:
+//
+//	POST /models        load or hot-swap a named model from a snapshot file
+//	GET  /models        list served models
+//	DELETE /models/{name}
+//	POST /assign        assign one row (stateless "model" or stateful "session")
+//	POST /assign/batch  assign many rows, fanned out via internal/parallel
+//	POST /sessions      create a streaming session (schema from a model)
+//	DELETE /sessions/{id}
+//	GET  /healthz       liveness + model/session inventory
+//	GET  /metrics       Prometheus text: traffic, latency, epochs, drift
+//
+// Concurrency model: stateless assignment reads the snapshot through an
+// atomic pointer (a background re-learn swaps epochs without blocking
+// readers); sessions live in a lock-sharded pool and serialize only within
+// one session, so concurrent streams scale across cores while each stream
+// keeps the single-goroutine determinism contract of stream.Clusterer.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mcdc/internal/model"
+)
+
+// driftThreshold mirrors stream.Config's default DriftThreshold: assignments
+// below this similarity count toward the drift counters.
+const driftThreshold = 0.2
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Seed drives re-learning and session randomness (default 1).
+	Seed int64
+	// Workers bounds each request's CPU fan-out (≤ 0 → GOMAXPROCS); results
+	// are bit-for-bit identical at any setting (see mcdc.WithParallelism).
+	Workers int
+	// SessionShards is the lock-shard count of the session pool (default 16).
+	SessionShards int
+	// RelearnEvery enables the background re-learn worker: every interval,
+	// models whose traffic buffer holds at least RelearnMin rows are
+	// re-trained on that window and hot-swapped with a bumped epoch. 0
+	// disables the worker (RelearnNow still re-learns on demand).
+	RelearnEvery time.Duration
+	// RelearnMin is the minimum buffered traffic before a re-learn
+	// (default 64).
+	RelearnMin int
+	// BufferSize caps each model's traffic window (default 4096).
+	BufferSize int
+	// DefaultSessionWindow is the window size of new sessions when the
+	// request does not set one (0 falls through to the stream default).
+	DefaultSessionWindow int
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the mcdcd daemon core, embeddable in tests and other processes.
+type Server struct {
+	cfg      Config
+	start    time.Time
+	registry *registry
+	sessions *sessionPool
+	metrics  *metrics
+	mux      *http.ServeMux
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a daemon core and starts its background re-learn worker (when
+// configured). Call Close to stop it.
+func New(cfg Config) *Server {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RelearnMin <= 0 {
+		cfg.RelearnMin = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		registry: newRegistry(),
+		sessions: newSessionPool(cfg.SessionShards),
+		metrics:  &metrics{},
+		mux:      http.NewServeMux(),
+		stop:     make(chan struct{}),
+	}
+	s.routes()
+	if cfg.RelearnEvery > 0 {
+		s.wg.Add(1)
+		go s.relearnLoop()
+	}
+	return s
+}
+
+// Close stops the background worker and waits for it.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// LoadModelFile loads a snapshot file into the registry under name,
+// hot-swapping any model already served under it, and returns the loaded
+// snapshot.
+func (s *Server) LoadModelFile(name, path string) (*model.Snapshot, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	snap, err := model.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	replaced := s.registry.set(name, snap, s.cfg.BufferSize)
+	verb := "loaded"
+	if replaced {
+		verb = "hot-swapped"
+	}
+	s.logf("%s model %q from %s (k=%d, epoch=%d, %d features)", verb, name, path, snap.K, snap.Epoch, snap.D())
+	return snap, nil
+}
+
+// AddModel registers an in-memory snapshot (used by tests and embedders).
+func (s *Server) AddModel(name string, snap *model.Snapshot) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	s.registry.set(name, snap, s.cfg.BufferSize)
+	return nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /models", s.handleListModels)
+	s.mux.HandleFunc("POST /models", s.handleLoadModel)
+	s.mux.HandleFunc("DELETE /models/{name}", s.handleDeleteModel)
+	s.mux.HandleFunc("POST /assign", s.handleAssign)
+	s.mux.HandleFunc("POST /assign/batch", s.handleAssignBatch)
+	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+}
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type modelInfo struct {
+	Name     string `json:"name"`
+	K        int    `json:"k"`
+	Epoch    int    `json:"epoch"`
+	Features int    `json:"features"`
+	Kappa    []int  `json:"kappa,omitempty"`
+	TrainN   int    `json:"train_n"`
+	Buffered int    `json:"buffered"`
+}
+
+type loadModelRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+type assignRequest struct {
+	Model   string `json:"model,omitempty"`
+	Session string `json:"session,omitempty"`
+	Row     []int  `json:"row"`
+}
+
+type assignResponse struct {
+	Cluster    int     `json:"cluster"`
+	Similarity float64 `json:"similarity"`
+	Epoch      int     `json:"epoch"`
+	Encoding   []int   `json:"encoding,omitempty"`
+}
+
+type batchRequest struct {
+	Model string  `json:"model"`
+	Rows  [][]int `json:"rows"`
+}
+
+type batchResponse struct {
+	Model       string           `json:"model"`
+	Epoch       int              `json:"epoch"`
+	Assignments []assignResponse `json:"assignments"`
+}
+
+type sessionRequest struct {
+	Session string `json:"session"`
+	// Model names a served model whose feature schema the session adopts.
+	Model string `json:"model"`
+	// Window overrides the session's re-learning window size.
+	Window int `json:"window,omitempty"`
+	// Seed fixes the session's random stream (default: the daemon seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// bufferRow adds an assigned row to the model's re-learn window — but only
+// when every value is inside the model's domain. Assign deliberately
+// tolerates out-of-domain values (unseen categories score zero similarity),
+// but the training path must never see them: similarity.NewTables indexes
+// count tables by value code, so one poison row in the window would panic
+// the background re-learner.
+func bufferRow(sm *servedModel, snap *model.Snapshot, row []int) {
+	for r, v := range row {
+		if v < 0 || v >= snap.Cardinalities[r] {
+			return
+		}
+	}
+	sm.buf.add(row)
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status        string         `json:"status"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Models        map[string]int `json:"models"` // name → epoch
+		Sessions      int            `json:"sessions"`
+	}
+	h := health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Models:        make(map[string]int),
+		Sessions:      s.sessions.count(),
+	}
+	for _, sm := range s.registry.all() {
+		h.Models[sm.name] = sm.load().Epoch
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.registry, s.sessions, time.Since(s.start))
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	infos := make([]modelInfo, 0)
+	for _, sm := range s.registry.all() {
+		snap := sm.load()
+		infos = append(infos, modelInfo{
+			Name:     sm.name,
+			K:        snap.K,
+			Epoch:    snap.Epoch,
+			Features: snap.D(),
+			Kappa:    snap.Kappa,
+			TrainN:   snap.TrainN,
+			Buffered: sm.buf.len(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string][]modelInfo{"models": infos})
+}
+
+func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	var req loadModelRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	snap, err := s.LoadModelFile(req.Name, req.Path)
+	if err != nil {
+		status := http.StatusBadRequest
+		var verr *model.VersionError
+		if errors.As(err, &verr) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelInfo{
+		Name: req.Name, K: snap.K, Epoch: snap.Epoch, Features: snap.D(),
+		Kappa: snap.Kappa, TrainN: snap.TrainN,
+	})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.remove(name) {
+		writeError(w, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	s.logf("unloaded model %q", name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var req assignRequest
+	if !decodeJSON(w, r, &req) {
+		s.metrics.assignErrors.Add(1)
+		return
+	}
+	switch {
+	case req.Model != "" && req.Session != "":
+		s.metrics.assignErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "set either model or session, not both")
+	case req.Model != "":
+		sm, ok := s.registry.get(req.Model)
+		if !ok {
+			s.metrics.assignErrors.Add(1)
+			writeError(w, http.StatusNotFound, "no model %q", req.Model)
+			return
+		}
+		snap := sm.load()
+		a, err := snap.Assign(req.Row)
+		if err != nil {
+			s.metrics.assignErrors.Add(1)
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		bufferRow(sm, snap, req.Row)
+		if a.Similarity < driftThreshold {
+			sm.lowSim.Add(1)
+		}
+		s.metrics.assignTotal.Add(1)
+		s.metrics.observe(time.Since(started))
+		writeJSON(w, http.StatusOK, assignResponse{
+			Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding,
+		})
+	case req.Session != "":
+		sess, ok := s.sessions.get(req.Session)
+		if !ok {
+			s.metrics.assignErrors.Add(1)
+			writeError(w, http.StatusNotFound, "no session %q", req.Session)
+			return
+		}
+		a, err := sess.add(req.Row, driftThreshold)
+		if err != nil {
+			s.metrics.assignErrors.Add(1)
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.metrics.assignTotal.Add(1)
+		s.metrics.observe(time.Since(started))
+		writeJSON(w, http.StatusOK, assignResponse{
+			Cluster: a.Cluster, Similarity: a.Similarity, Epoch: a.ModelEpoch,
+		})
+	default:
+		s.metrics.assignErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "request names neither a model nor a session")
+	}
+}
+
+func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		s.metrics.assignErrors.Add(1)
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.metrics.assignErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	sm, ok := s.registry.get(req.Model)
+	if !ok {
+		s.metrics.assignErrors.Add(1)
+		writeError(w, http.StatusNotFound, "no model %q", req.Model)
+		return
+	}
+	snap := sm.load()
+	// The fan-out runs under the repository's determinism contract: the
+	// response is bit-for-bit identical at any worker count.
+	assignments, err := snap.AssignBatch(req.Rows, s.cfg.Workers)
+	if err != nil {
+		s.metrics.assignErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := batchResponse{Model: req.Model, Epoch: snap.Epoch, Assignments: make([]assignResponse, len(assignments))}
+	for i, a := range assignments {
+		bufferRow(sm, snap, req.Rows[i])
+		if a.Similarity < driftThreshold {
+			sm.lowSim.Add(1)
+		}
+		resp.Assignments[i] = assignResponse{Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding}
+	}
+	s.metrics.batchRows.Add(int64(len(assignments)))
+	s.metrics.observe(time.Since(started))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := validateName(req.Session); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sm, ok := s.registry.get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no model %q to take the session schema from", req.Model)
+		return
+	}
+	window := req.Window
+	if window <= 0 {
+		window = s.cfg.DefaultSessionWindow
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+	if err := s.sessions.create(req.Session, sm.load().Cardinalities, window, seed, s.cfg.Workers); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.logf("created session %q (schema from model %q)", req.Session, req.Model)
+	writeJSON(w, http.StatusCreated, map[string]string{"session": req.Session})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

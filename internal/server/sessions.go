@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"mcdc/internal/core"
+	"mcdc/internal/stream"
+)
+
+// session wraps one streaming clusterer. stream.Clusterer is single-goroutine
+// by contract, so every operation holds the session's own mutex: arrivals
+// within a session are serialized (preserving the per-session determinism
+// contract — one rng, one presentation order), while different sessions
+// proceed in parallel.
+type session struct {
+	mu     sync.Mutex
+	c      *stream.Clusterer
+	lowSim int64 // drift counter, guarded by mu
+}
+
+// sessionPool is a lock-sharded map of streaming sessions. Concurrent
+// /assign calls for different sessions hash to (usually) different shards,
+// so pool bookkeeping never becomes the serialization point — only the
+// per-session mutex serializes, and only within one stream.
+type sessionPool struct {
+	shards []*sessionShard
+}
+
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+func newSessionPool(shards int) *sessionPool {
+	if shards <= 0 {
+		shards = 16
+	}
+	p := &sessionPool{shards: make([]*sessionShard, shards)}
+	for i := range p.shards {
+		p.shards[i] = &sessionShard{m: make(map[string]*session)}
+	}
+	return p
+}
+
+func (p *sessionPool) shard(id string) *sessionShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+func (p *sessionPool) get(id string) (*session, bool) {
+	sh := p.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.m[id]
+	return s, ok
+}
+
+// create registers a new streaming session. It fails if the id is taken.
+func (p *sessionPool) create(id string, cardinalities []int, window int, seed int64, workers int) error {
+	c, err := stream.NewClusterer(stream.Config{
+		Cardinalities: cardinalities,
+		WindowSize:    window,
+		MGCPL: core.MGCPLConfig{
+			Workers: workers,
+			Rand:    rand.New(rand.NewSource(seed)),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[id]; ok {
+		return fmt.Errorf("server: session %q already exists", id)
+	}
+	sh.m[id] = &session{c: c}
+	return nil
+}
+
+func (p *sessionPool) remove(id string) bool {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[id]; !ok {
+		return false
+	}
+	delete(sh.m, id)
+	return true
+}
+
+func (p *sessionPool) count() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// lowSimTotal sums the drift counters across sessions.
+func (p *sessionPool) lowSimTotal() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			s.mu.Lock()
+			n += s.lowSim
+			s.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// add feeds one row to the session, tracking drift.
+func (s *session) add(row []int, driftThreshold float64) (stream.Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.c.Add(row)
+	if err == nil && a.Similarity < driftThreshold {
+		s.lowSim++
+	}
+	return a, err
+}

@@ -9,8 +9,10 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"mcdc/internal/core"
+	"mcdc/internal/model"
 	"mcdc/internal/similarity"
 )
 
@@ -114,7 +116,7 @@ func (c *Clusterer) Add(row []int) (Assignment, error) {
 				continue
 			}
 			// Probe similarity without mutating the model tables.
-			if s := c.probeSim(own, l); s > bestSim {
+			if s := c.tables.ProbeSim(own, l); s > bestSim {
 				best, bestSim = l, s
 			}
 		}
@@ -139,17 +141,109 @@ func (c *Clusterer) Add(row []int) (Assignment, error) {
 	return assign, nil
 }
 
-// probeSim computes the Eq. (1) similarity of an arbitrary (possibly
-// unseen) row to model cluster l.
-func (c *Clusterer) probeSim(row []int, l int) float64 {
-	var sum float64
-	for r, v := range row {
-		if v < 0 || v >= c.cfg.Cardinalities[r] || c.tables.Size(l) == 0 {
-			continue
-		}
-		sum += float64(c.tables.Count(l, r, v)) / float64(c.tables.Size(l))
+// Snapshot checkpoints the clusterer into a serializable StreamState: the
+// configuration, the window ring in physical slot order, the drift counters,
+// and the current model tables.
+//
+// Determinism contract: Snapshot rotates the clusterer's random stream — it
+// draws one sub-seed from the live source, re-seeds the clusterer with it,
+// and records the same sub-seed in the state. The snapshotted original and
+// any Restore of the state therefore continue on identical random streams,
+// so their subsequent assignments (including across re-learnings) are
+// bit-for-bit identical. The rotation is the only observable side effect.
+func (c *Clusterer) Snapshot() *model.StreamState {
+	sub := c.cfg.MGCPL.Rand.Int63()
+	c.cfg.MGCPL.Rand = rand.New(rand.NewSource(sub))
+	st := &model.StreamState{
+		Cardinalities:  append([]int(nil), c.cfg.Cardinalities...),
+		WindowSize:     c.cfg.WindowSize,
+		RefreshEvery:   c.cfg.RefreshEvery,
+		DriftThreshold: c.cfg.DriftThreshold,
+		DriftFraction:  c.cfg.DriftFraction,
+		LearningRate:   c.cfg.MGCPL.LearningRate,
+		InitialK:       c.cfg.MGCPL.InitialK,
+		MaxInnerIters:  c.cfg.MGCPL.MaxInnerIters,
+		MaxEpochs:      c.cfg.MGCPL.MaxEpochs,
+		RivalThreshold: c.cfg.MGCPL.RivalThreshold,
+		Workers:        c.cfg.MGCPL.Workers,
+		Window:         make([][]int, len(c.window)),
+		Next:           c.next,
+		K:              c.k,
+		Epoch:          c.epoch,
+		SinceFresh:     c.sinceFresh,
+		Drifted:        c.drifted,
+		Kappa:          append([]int(nil), c.kappa...),
+		RandSeed:       sub,
 	}
-	return sum / float64(len(row))
+	for i, row := range c.window {
+		st.Window[i] = append([]int(nil), row...)
+	}
+	if c.tables != nil {
+		st.Tables = c.tables.State()
+	}
+	return st
+}
+
+// Restore rebuilds a clusterer from a checkpoint. The restored clusterer's
+// subsequent behavior is bit-for-bit identical to the snapshotted original's
+// (see Snapshot for the random-stream contract).
+func Restore(st *model.StreamState) (*Clusterer, error) {
+	if st == nil {
+		return nil, errors.New("stream: nil checkpoint")
+	}
+	cfg := Config{
+		Cardinalities:  append([]int(nil), st.Cardinalities...),
+		WindowSize:     st.WindowSize,
+		RefreshEvery:   st.RefreshEvery,
+		DriftThreshold: st.DriftThreshold,
+		DriftFraction:  st.DriftFraction,
+		MGCPL: core.MGCPLConfig{
+			LearningRate:   st.LearningRate,
+			InitialK:       st.InitialK,
+			MaxInnerIters:  st.MaxInnerIters,
+			MaxEpochs:      st.MaxEpochs,
+			RivalThreshold: st.RivalThreshold,
+			Workers:        st.Workers,
+			Rand:           rand.New(rand.NewSource(st.RandSeed)),
+		},
+	}
+	c, err := NewClusterer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Window) > c.cfg.WindowSize {
+		return nil, fmt.Errorf("stream: checkpoint window holds %d objects, capacity is %d", len(st.Window), c.cfg.WindowSize)
+	}
+	if st.Next < 0 || (st.Next != 0 && st.Next >= len(st.Window)) {
+		return nil, fmt.Errorf("stream: checkpoint ring cursor %d out of range for %d objects", st.Next, len(st.Window))
+	}
+	c.window = make([][]int, len(st.Window), c.cfg.WindowSize)
+	for i, row := range st.Window {
+		if len(row) != len(c.cfg.Cardinalities) {
+			return nil, fmt.Errorf("stream: checkpoint row %d has %d features, schema has %d", i, len(row), len(c.cfg.Cardinalities))
+		}
+		c.window[i] = append([]int(nil), row...)
+	}
+	c.next = st.Next
+	c.k = st.K
+	c.epoch = st.Epoch
+	c.sinceFresh = st.SinceFresh
+	c.drifted = st.Drifted
+	c.kappa = append([]int(nil), st.Kappa...)
+	if st.Tables != nil {
+		t, err := similarity.FromState(st.Tables)
+		if err != nil {
+			return nil, fmt.Errorf("stream: checkpoint tables: %w", err)
+		}
+		if t.D() != len(c.cfg.Cardinalities) {
+			return nil, fmt.Errorf("stream: checkpoint tables cover %d features, schema has %d", t.D(), len(c.cfg.Cardinalities))
+		}
+		if t.K() != st.K {
+			return nil, fmt.Errorf("stream: checkpoint claims k = %d but its tables hold %d cluster slots", st.K, t.K())
+		}
+		c.tables = t
+	}
+	return c, nil
 }
 
 // relearn runs MGCPL over the current window and rebuilds the model tables

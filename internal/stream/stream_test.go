@@ -1,11 +1,14 @@
 package stream
 
 import (
+	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"mcdc/internal/core"
 	"mcdc/internal/datasets"
+	"mcdc/internal/model"
 )
 
 func streamConfig(card []int, window int, seed int64) Config {
@@ -114,6 +117,221 @@ func TestStreamErrors(t *testing.T) {
 	}
 	if _, err := c.Add([]int{0}); err == nil {
 		t.Error("wrong row width: want error")
+	}
+}
+
+// TestDriftRefreshAtRingBoundary engineers a drift-triggered re-learning on
+// the exact arrival whose ring overwrite wraps the cursor back to slot 0, and
+// checks the re-learned model saw the fully-wrapped window (all drift rows,
+// none of the stale phase-A rows). The schedule is derived from the drift
+// rule: after the provisional model (epoch 1) forms at arrival 2, six
+// in-distribution arrivals fill the ring (cursor at 0), and eight
+// out-of-distribution arrivals overwrite slots 0..7; with DriftFraction
+// 0.55 the ratio first crosses at drifted/sinceFresh = 8/14 ≈ 0.571 — the
+// wrap arrival.
+func TestDriftRefreshAtRingBoundary(t *testing.T) {
+	card := []int{4, 4, 4}
+	cfg := Config{
+		Cardinalities: card,
+		WindowSize:    8,
+		RefreshEvery:  100,
+		DriftFraction: 0.55,
+		MGCPL:         core.MGCPLConfig{Rand: rand.New(rand.NewSource(9))},
+	}
+	c, err := NewClusterer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRows := [][]int{{0, 0, 0}, {1, 1, 1}}
+	// Drift rows use value codes {2,3} on every feature: zero overlap with
+	// the model's frequencies, so each scores similarity 0 (< threshold).
+	driftRows := [][]int{
+		{2, 2, 2}, {2, 2, 3}, {2, 3, 2}, {2, 3, 3},
+		{3, 2, 2}, {3, 2, 3}, {3, 3, 2}, {3, 3, 3},
+	}
+	add := func(row []int) Assignment {
+		t.Helper()
+		a, err := c.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	for i := 0; i < 8; i++ { // arrivals 1..8 fill the ring
+		add(trainRows[i%2])
+	}
+	if c.epoch != 1 {
+		t.Fatalf("provisional model epoch = %d, want 1", c.epoch)
+	}
+	if len(c.window) != 8 || c.next != 0 {
+		t.Fatalf("ring not at pre-wrap state: len=%d next=%d", len(c.window), c.next)
+	}
+	var last Assignment
+	for i, row := range driftRows { // arrivals 9..16 overwrite slots 0..7
+		last = add(row)
+		if i < 7 && c.epoch != 1 {
+			t.Fatalf("re-learn fired early, at drift arrival %d", i+1)
+		}
+	}
+	if last.ModelEpoch != 2 || c.epoch != 2 {
+		t.Fatalf("re-learn did not fire on the wrap arrival: epoch=%d", c.epoch)
+	}
+	if c.next != 0 {
+		t.Fatalf("ring cursor = %d after the wrap arrival, want 0", c.next)
+	}
+	if !reflect.DeepEqual(c.window, driftRows) {
+		t.Fatalf("re-learn window is not the wrapped drift rows:\n%v", c.window)
+	}
+	// The swapped-in model must explain the drift regime, not the old one.
+	if sim := c.probeSimBest(driftRows[0]); sim < c.cfg.DriftThreshold {
+		t.Fatalf("drift row scores %v under the re-learned model", sim)
+	}
+}
+
+// probeSimBest returns the best-cluster probe similarity for a row (test
+// helper mirroring Add's probe loop without mutating the window).
+func (c *Clusterer) probeSimBest(row []int) float64 {
+	best := -1.0
+	for l := 0; l < c.k; l++ {
+		if c.tables.Size(l) == 0 {
+			continue
+		}
+		if s := c.tables.ProbeSim(row, l); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// TestSnapshotRestoreBitIdentical pins the checkpoint contract: after
+// Snapshot (which rotates the rng onto a recorded sub-seed), the original
+// and a Restore of the serialized state produce bit-for-bit identical
+// assignments on any subsequent input — including across re-learnings,
+// which consume the (now aligned) random streams.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	ds := datasets.Synthetic("t", 900, 8, 3, 0.9, rand.New(rand.NewSource(77)))
+	c, err := NewClusterer(streamConfig(ds.Cardinalities(), 200, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.Rows[:600] {
+		if _, err := c.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.ModelEpoch() == 0 {
+		t.Fatal("no model learned before the checkpoint")
+	}
+
+	// Serialize through the real envelope, not just the in-memory state.
+	var buf bytes.Buffer
+	if err := c.Snapshot().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := model.LoadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != c.K() || r.ModelEpoch() != c.ModelEpoch() || !reflect.DeepEqual(r.Kappa(), c.Kappa()) {
+		t.Fatal("restored model state differs from the original")
+	}
+
+	epochBefore := c.ModelEpoch()
+	for i, row := range ds.Rows[600:] {
+		ao, err := c.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := r.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ao != ar {
+			t.Fatalf("tail row %d: original %+v, restored %+v", i, ao, ar)
+		}
+	}
+	if c.ModelEpoch() == epochBefore {
+		t.Fatal("tail did not cross a re-learning; the test lost its teeth")
+	}
+	if r.ModelEpoch() != c.ModelEpoch() || r.K() != c.K() || !reflect.DeepEqual(r.Kappa(), c.Kappa()) {
+		t.Fatal("original and restored clusterers diverged after the tail")
+	}
+}
+
+// TestSnapshotBeforeFirstModel covers the cold-start checkpoint: no tables
+// yet, partial window.
+func TestSnapshotBeforeFirstModel(t *testing.T) {
+	c, err := NewClusterer(streamConfig([]int{2, 2}, 100, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Add([]int{i % 2, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Snapshot()
+	if st.Tables != nil || st.Epoch != 0 {
+		t.Fatalf("cold snapshot carries a model: %+v", st)
+	}
+	r, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.window) != 3 || r.tables != nil {
+		t.Fatal("cold restore mismatched")
+	}
+}
+
+func TestRestoreRejectsMalformedState(t *testing.T) {
+	if _, err := Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	base := func() *model.StreamState {
+		return &model.StreamState{
+			Cardinalities: []int{2, 2},
+			WindowSize:    4,
+			RandSeed:      1,
+			Window:        [][]int{{0, 1}, {1, 0}},
+		}
+	}
+	st := base()
+	st.Window = append(st.Window, []int{0})
+	if _, err := Restore(st); err == nil {
+		t.Error("ragged window row accepted")
+	}
+	st = base()
+	st.Window = [][]int{{0, 0}, {0, 0}, {0, 0}, {0, 0}, {0, 0}}
+	if _, err := Restore(st); err == nil {
+		t.Error("window beyond capacity accepted")
+	}
+	st = base()
+	st.Next = 7
+	if _, err := Restore(st); err == nil {
+		t.Error("out-of-range cursor accepted")
+	}
+	// A checkpoint whose claimed k disagrees with its tables must be
+	// rejected at Restore time, not panic later in Add.
+	c, err := NewClusterer(streamConfig([]int{2, 2}, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Add([]int{i % 2, (i / 2) % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := c.Snapshot()
+	if warm.Tables == nil {
+		t.Fatal("warm snapshot carries no tables")
+	}
+	warm.K = warm.Tables.K + 1
+	if _, err := Restore(warm); err == nil {
+		t.Error("k/tables mismatch accepted")
 	}
 }
 

@@ -80,6 +80,36 @@ type Result struct {
 	// Theta holds CAME's learned importance of each granularity level
 	// (summing to 1); nil when a custom final clusterer was used.
 	Theta []float64
+
+	// modelSrc carries the learned state Model() freezes into a snapshot.
+	modelSrc *modelSource
+}
+
+// modelSource is everything needed to persist the trained model: the
+// training rows and schema, the pooled Γ encoding, and CAME's converged
+// modes/θ — or, on the custom-final-clusterer path, just the flat labels.
+type modelSource struct {
+	name     string
+	rows     [][]int
+	card     []int
+	values   [][]string // per-feature value labels (the code dictionary)
+	encoding [][]int
+	modes    [][]int
+	theta    []float64
+	kappa    []int
+	k        int
+	flat     bool // custom final clusterer: freeze the flat partition only
+	labels   []int
+}
+
+// featureValues extracts the per-feature value-label dictionary of a data
+// set, so a frozen model can re-code differently-loaded inputs later.
+func featureValues(d *Dataset) [][]string {
+	vals := make([][]string, len(d.Features))
+	for r, f := range d.Features {
+		vals[r] = append([]string(nil), f.Values...)
+	}
+	return vals
 }
 
 // Explore runs MGCPL on the data set and returns the multi-granular cluster
@@ -137,7 +167,16 @@ func Cluster(d *Dataset, k int, opts ...Option) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mcdc: final clusterer: %w", err)
 		}
-		return &Result{Labels: labels, MultiGranular: wrapMG(first)}, nil
+		return &Result{Labels: labels, MultiGranular: wrapMG(first), modelSrc: &modelSource{
+			name:   d.Name,
+			rows:   rows,
+			card:   card,
+			values: featureValues(d),
+			kappa:  first.Kappa(),
+			k:      k,
+			flat:   true,
+			labels: labels,
+		}}, nil
 	}
 	res, err := core.RunMCDC(rows, card, core.MCDCConfig{
 		MGCPL:   mgCfg,
@@ -147,7 +186,17 @@ func Cluster(d *Dataset, k int, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Labels: res.Labels, MultiGranular: wrapMG(res.MGCPL), Theta: res.CAME.Theta}, nil
+	return &Result{Labels: res.Labels, MultiGranular: wrapMG(res.MGCPL), Theta: res.CAME.Theta, modelSrc: &modelSource{
+		name:     d.Name,
+		rows:     rows,
+		card:     card,
+		values:   featureValues(d),
+		encoding: res.Encoding,
+		modes:    res.CAME.Modes,
+		theta:    res.CAME.Theta,
+		kappa:    res.MGCPL.Kappa(),
+		k:        len(res.CAME.Modes),
+	}}, nil
 }
 
 // NewDataset builds a data set directly from integer-coded rows. Feature

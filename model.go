@@ -1,0 +1,166 @@
+package mcdc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mcdc/internal/model"
+)
+
+// Model is a frozen, persistable MCDC model: everything needed to assign
+// fresh objects to the learned clusters without re-running the pipeline. A
+// Model is produced by Result.Model after training, survives its process via
+// Save/LoadModel (a versioned snapshot file), and is what the mcdcd serving
+// daemon hosts. It is immutable and safe for concurrent use.
+type Model struct {
+	snap *model.Snapshot
+}
+
+// ModelAssignment reports where a row lands under a frozen model: the final
+// cluster (comparable to Result.Labels), a [0,1] similarity of the match,
+// and the row's reconstructed multi-granular encoding.
+type ModelAssignment = model.Assignment
+
+// Model freezes the trained state of this result into a persistable Model.
+// On the standard CAME pipeline the model replays the learned two-stage
+// assignment (per-granularity frequency tables, then θ-weighted nearest
+// mode); with a custom final clusterer it freezes the flat partition and
+// assigns by frequency similarity against the final clusters.
+func (r *Result) Model() (*Model, error) {
+	if r.modelSrc == nil {
+		return nil, errors.New("mcdc: result carries no model state")
+	}
+	src := r.modelSrc
+	var (
+		snap *model.Snapshot
+		err  error
+	)
+	if src.flat {
+		snap, err = model.FromLabels(src.rows, src.card, src.labels, src.k, src.kappa)
+	} else {
+		snap, err = model.Build(src.rows, src.card, src.encoding, src.modes, src.theta, src.kappa, src.k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap.Name = src.name
+	snap.Values = src.values
+	return &Model{snap: snap}, nil
+}
+
+// LoadModel reads a model snapshot file written by Model.Save. Snapshots are
+// format-versioned: a file written by an incompatible build is rejected with
+// a clear version error instead of being mis-decoded.
+func LoadModel(path string) (*Model, error) {
+	snap, err := model.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{snap: snap}, nil
+}
+
+// ReadModel reads a model snapshot from a stream (see LoadModel).
+func ReadModel(r io.Reader) (*Model, error) {
+	snap, err := model.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{snap: snap}, nil
+}
+
+// Save writes the model to path as an atomic, versioned snapshot file.
+func (m *Model) Save(path string) error { return m.snap.SaveFile(path) }
+
+// Write writes the model snapshot to w.
+func (m *Model) Write(w io.Writer) error { return m.snap.Save(w) }
+
+// Assign places one integer-coded row under the model. Safe for concurrent
+// use.
+func (m *Model) Assign(row []int) (ModelAssignment, error) { return m.snap.Assign(row) }
+
+// AssignBatch assigns every row, fanning out over at most `workers`
+// goroutines (≤ 0 → GOMAXPROCS) with the repository's bit-for-bit
+// parallelism contract: results are identical at any worker count.
+//
+// Rows must already be coded on the model's training dictionary; when
+// scoring a Dataset loaded from a different file, use AssignDataset, which
+// re-codes by value label first.
+func (m *Model) AssignBatch(rows [][]int, workers int) ([]ModelAssignment, error) {
+	return m.snap.AssignBatch(rows, workers)
+}
+
+// AssignDataset assigns every row of ds, first re-coding its values onto the
+// model's training dictionary. Integer codes are a per-file artifact of CSV
+// loading (first-appearance order), so the same value label can carry a
+// different code in a different file; AssignDataset matches features by
+// position and values by label, mapping labels the model never saw to
+// Missing (they contribute zero similarity). Models frozen without a
+// dictionary assume the codes already align.
+func (m *Model) AssignDataset(ds *Dataset, workers int) ([]ModelAssignment, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("mcdc: empty dataset")
+	}
+	if got, want := ds.D(), m.snap.D(); got != want {
+		return nil, fmt.Errorf("mcdc: dataset has %d features, model has %d", got, want)
+	}
+	rows := ds.Rows
+	if remap, needed := m.valueRemap(ds); needed {
+		rows = make([][]int, ds.N())
+		for i, row := range ds.Rows {
+			rows[i] = make([]int, len(row))
+			for r, v := range row {
+				if v == Missing {
+					rows[i][r] = Missing
+					continue
+				}
+				rows[i][r] = remap[r][v]
+			}
+		}
+	}
+	return m.snap.AssignBatch(rows, workers)
+}
+
+// valueRemap builds the per-feature code translation from ds's dictionary
+// to the model's, and reports whether any code actually changes.
+func (m *Model) valueRemap(ds *Dataset) ([][]int, bool) {
+	vals := m.snap.Values
+	if vals == nil {
+		return nil, false
+	}
+	needed := false
+	remap := make([][]int, len(ds.Features))
+	for r, f := range ds.Features {
+		dict := make(map[string]int, len(vals[r]))
+		for code, label := range vals[r] {
+			dict[label] = code
+		}
+		remap[r] = make([]int, len(f.Values))
+		for v, label := range f.Values {
+			code, ok := dict[label]
+			if !ok {
+				code = Missing
+			}
+			remap[r][v] = code
+			if code != v {
+				needed = true
+			}
+		}
+	}
+	return remap, needed
+}
+
+// Name returns the model's label (the training data set's name by default).
+func (m *Model) Name() string { return m.snap.Name }
+
+// K returns the number of final clusters.
+func (m *Model) K() int { return m.snap.K }
+
+// Kappa returns the κ granularity series of the underlying analysis.
+func (m *Model) Kappa() []int { return append([]int(nil), m.snap.Kappa...) }
+
+// Epoch returns the model's re-learning epoch (0 for a fresh training).
+func (m *Model) Epoch() int { return m.snap.Epoch }
+
+// Features returns the number of raw features rows must have.
+func (m *Model) Features() int { return m.snap.D() }

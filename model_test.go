@@ -1,0 +1,212 @@
+package mcdc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mcdc"
+	"mcdc/internal/categorical"
+	"mcdc/internal/datasets"
+)
+
+// TestModelRoundTripMatchesCluster pins the serving acceptance contract: a
+// model frozen from Cluster(), saved to disk, and loaded back assigns the
+// training rows to exactly the labels Cluster() produced. (Exactness holds
+// on well-separated data; rows sitting on a cluster boundary may flip — the
+// frozen probe replays the learned assignment rule, not the training run's
+// transient state.)
+func TestModelRoundTripMatchesCluster(t *testing.T) {
+	ds := datasets.Synthetic("serve", 400, 8, 3, 0.9, rand.New(rand.NewSource(42)))
+	res, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 3 || m.Features() != 8 || m.Name() != "serve" || m.Epoch() != 0 {
+		t.Fatalf("model metadata: k=%d d=%d name=%q epoch=%d", m.K(), m.Features(), m.Name(), m.Epoch())
+	}
+
+	path := filepath.Join(t.TempDir(), "serve.bin")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mcdc.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Kappa(), m.Kappa()) {
+		t.Fatal("kappa changed across save/load")
+	}
+	for i, row := range ds.Rows {
+		a, err := loaded.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cluster != res.Labels[i] {
+			t.Fatalf("row %d: loaded model assigned %d, Cluster labeled %d", i, a.Cluster, res.Labels[i])
+		}
+	}
+	// Batch path agrees with the one-by-one path at any parallelism.
+	batch, err := loaded.AssignBatch(ds.Rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if batch[i].Cluster != res.Labels[i] {
+			t.Fatalf("batch row %d: %d vs %d", i, batch[i].Cluster, res.Labels[i])
+		}
+	}
+}
+
+// TestModelFromEnhancerResult covers the custom-final-clusterer path: the
+// frozen flat partition still serves assignments.
+func TestModelFromEnhancerResult(t *testing.T) {
+	ds := mcdc.SyntheticDataset("enh", 240, 6, 3, 7)
+	res, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(7), mcdc.WithFinalClusterer(mcdc.EnhanceFKMAWCW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i, row := range ds.Rows {
+		a, err := m.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cluster == res.Labels[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(ds.N()); frac < 0.9 {
+		t.Fatalf("flat model agreement %v with enhancer labels, want ≥ 0.9", frac)
+	}
+}
+
+// TestAssignDatasetRecodesValueLabels covers scoring a file whose values
+// were loaded in a different first-appearance order than the training file:
+// integer codes differ, but AssignDataset matches by value label and must
+// return the same assignments as on the training encoding.
+func TestAssignDatasetRecodesValueLabels(t *testing.T) {
+	mk := func(name string, rows [][]string) *mcdc.Dataset {
+		t.Helper()
+		ds, err := categorical.FromStrings(name, []string{"color", "shape"}, rows, -1, "?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	// Training file: "red" and "circle" appear first → codes 0.
+	var trainRows [][]string
+	for i := 0; i < 120; i++ {
+		if i%2 == 0 {
+			trainRows = append(trainRows, []string{"red", "circle"})
+		} else {
+			trainRows = append(trainRows, []string{"blue", "square"})
+		}
+	}
+	train := mk("train", trainRows)
+	res, err := mcdc.Cluster(train, 2, mcdc.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scoring file: same logical objects, but "blue"/"square" appear first,
+	// so every code is flipped relative to the model's dictionary.
+	score := mk("score", [][]string{
+		{"blue", "square"},
+		{"red", "circle"},
+		{"green", "circle"}, // label the model never saw → Missing
+	})
+	got, err := m.AssignDataset(score, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlue, err := m.Assign(train.Rows[1]) // blue,square under training codes
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRed, err := m.Assign(train.Rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Cluster != wantBlue.Cluster || got[1].Cluster != wantRed.Cluster {
+		t.Fatalf("re-coded assignments %v/%v, want %v/%v",
+			got[0].Cluster, got[1].Cluster, wantBlue.Cluster, wantRed.Cluster)
+	}
+	if wantBlue.Cluster == wantRed.Cluster {
+		t.Fatal("test lost its teeth: both training rows in one cluster")
+	}
+	// The raw (un-re-coded) batch disagrees — the dictionary matters.
+	raw, err := m.AssignBatch(score.Rows[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0].Cluster == got[0].Cluster && raw[1].Cluster == got[1].Cluster {
+		t.Fatal("raw codes coincidentally matched; pick a sharper fixture")
+	}
+	// The unseen-label row still assigns somewhere without error.
+	if got[2].Cluster < 0 || got[2].Cluster >= m.K() {
+		t.Fatalf("unseen-label row landed in cluster %d", got[2].Cluster)
+	}
+	// Width mismatch is rejected.
+	bad, err := categorical.FromStrings("bad", []string{"color"}, [][]string{{"red"}}, -1, "?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AssignDataset(bad, 0); err == nil {
+		t.Fatal("feature-width mismatch accepted")
+	}
+}
+
+// TestStreamClustererSaveResume exercises the public checkpoint wrappers:
+// a resumed clusterer continues bit-for-bit with the saved one.
+func TestStreamClustererSaveResume(t *testing.T) {
+	ds := mcdc.SyntheticDataset("stream", 800, 8, 3, 5)
+	sc, err := mcdc.NewStreamClusterer(mcdc.StreamConfig{
+		Cardinalities: ds.Cardinalities(),
+		WindowSize:    200,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.Rows[:500] {
+		if _, err := sc.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := mcdc.ResumeStreamClusterer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range ds.Rows[500:] {
+		ao, err := sc.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := resumed.Add(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ao != ar {
+			t.Fatalf("row %d: original %+v, resumed %+v", i, ao, ar)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package mcdc
 
 import (
+	"io"
 	"math/rand"
 
 	"mcdc/internal/core"
+	"mcdc/internal/model"
 	"mcdc/internal/stream"
 )
 
@@ -64,3 +66,24 @@ func (s *StreamClusterer) Kappa() []int { return s.inner.Kappa() }
 
 // ModelEpoch returns how many times the model has been re-learned.
 func (s *StreamClusterer) ModelEpoch() int { return s.inner.ModelEpoch() }
+
+// Save checkpoints the clusterer to w as a versioned snapshot: the recent
+// window, drift counters, and current model survive a restart. Saving
+// rotates the clusterer's random stream onto a recorded sub-seed, so this
+// clusterer and any ResumeStreamClusterer of the checkpoint continue with
+// bit-for-bit identical behavior.
+func (s *StreamClusterer) Save(w io.Writer) error { return s.inner.Snapshot().Save(w) }
+
+// ResumeStreamClusterer restores a streaming clusterer from a checkpoint
+// written by Save, resuming exactly where the saved clusterer left off.
+func ResumeStreamClusterer(r io.Reader) (*StreamClusterer, error) {
+	st, err := model.LoadStream(r)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := stream.Restore(st)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamClusterer{inner: inner}, nil
+}
