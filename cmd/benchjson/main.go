@@ -23,15 +23,22 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. SecPerOp mirrors NsPerOp in
+// benchstat's sec/op unit so downstream tooling can diff either scale
+// without re-deriving it. BytesPerOp/AllocsPerOp are emitted whenever the
+// run carried -benchmem (HaveMem) — including explicit zeros, which are a
+// real measurement (the allocation-free serving probe is gated on exactly
+// 0 allocs/op), not an absence.
 type Result struct {
 	Name        string  `json:"name"`
 	Pkg         string  `json:"pkg,omitempty"`
 	Procs       int     `json:"procs,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	SecPerOp    float64 `json:"sec_per_op"`
+	HaveMem     bool    `json:"have_mem"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // Report is the full JSON document.
@@ -108,10 +115,13 @@ func parseBenchLine(line string) (Result, bool) {
 		switch fields[i+1] {
 		case "ns/op":
 			r.NsPerOp = v
+			r.SecPerOp = v / 1e9
 		case "B/op":
 			r.BytesPerOp = int64(v)
+			r.HaveMem = true
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+			r.HaveMem = true
 		}
 	}
 	if r.NsPerOp == 0 && !strings.Contains(line, "ns/op") {

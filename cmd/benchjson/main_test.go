@@ -34,12 +34,24 @@ func TestParseSample(t *testing.T) {
 		t.Errorf("first benchmark: %+v", b0)
 	}
 	if b0.Pkg != "mcdc" || b0.Iterations != 6 || b0.NsPerOp != 192744578 ||
-		b0.BytesPerOp != 48816576 || b0.AllocsPerOp != 2019 {
+		b0.BytesPerOp != 48816576 || b0.AllocsPerOp != 2019 || !b0.HaveMem {
 		t.Errorf("first benchmark fields: %+v", b0)
+	}
+	if b0.SecPerOp != 0.192744578 {
+		t.Errorf("sec/op = %v, want 0.192744578", b0.SecPerOp)
 	}
 	b2 := report.Benchmarks[2]
 	if b2.Name != "BenchmarkTable4_Wilcoxon" || b2.Procs != 0 || b2.NsPerOp != 2363 || b2.BytesPerOp != 0 {
 		t.Errorf("time-only benchmark: %+v", b2)
+	}
+	if b2.SecPerOp != 2363e-9 || b2.HaveMem {
+		t.Errorf("time-only benchmark sec/op fields: %+v", b2)
+	}
+	// An explicit zero-alloc measurement must be distinguishable from a run
+	// without -benchmem: HaveMem marks the difference.
+	zero, ok := parseBenchLine("BenchmarkServerAssign/inprocess/assigner-8 	 1000000 	 1034 ns/op 	 0 B/op 	 0 allocs/op")
+	if !ok || !zero.HaveMem || zero.AllocsPerOp != 0 || zero.BytesPerOp != 0 {
+		t.Errorf("zero-alloc line: %+v (ok=%v)", zero, ok)
 	}
 }
 

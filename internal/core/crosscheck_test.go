@@ -22,7 +22,10 @@ func TestMGCPLAgreesWithHierarchicalClustering(t *testing.T) {
 	}
 	final := mg.Final()
 
-	den, err := linkage.BuildCondensed(linkage.HammingCondensed(ds.Rows), linkage.Average)
+	// The O(n²) chain agglomerator is the production linkage path; the scan
+	// oracle equivalence is pinned in internal/linkage and the repository
+	// equivalence suite.
+	den, err := linkage.BuildChain(linkage.HammingCondensed(ds.Rows), linkage.Average)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"mcdc/internal/datasets"
+	"mcdc/internal/linkage"
+	"mcdc/internal/metrics"
+	"mcdc/internal/stats"
+)
+
+// LinkageScaleConfig parameterizes the linkage-scaling comparison: the
+// O(n³) nearest-pair scan versus the O(n²) nearest-neighbour chain on the
+// same condensed Hamming matrices.
+type LinkageScaleConfig struct {
+	// Ns are the data-set sizes to sweep (default 500, 2000, 5000).
+	Ns []int
+	// Seed drives the synthetic data generation.
+	Seed int64
+	// Method is the Lance–Williams rule (default Average).
+	Method linkage.Method
+	// ScanCap skips the O(n³) scan — and with it the oracle cross-check —
+	// above this n, so the sweep stays tractable (default 2000).
+	ScanCap int
+	// Workers bounds each build's fan-out (≤ 0 → GOMAXPROCS); results are
+	// identical at any level.
+	Workers int
+}
+
+// LinkageScale is the measured sweep, one entry per n.
+type LinkageScale struct {
+	Method   linkage.Method
+	Ns       []int
+	ChainSec []float64 // wall-clock of BuildChainWorkers
+	ScanSec  []float64 // wall-clock of BuildCondensedWorkers; NaN when skipped
+	Checked  []bool    // whether the scan oracle ran for this n (n <= ScanCap)
+	Verified []bool    // chain canonically identical to the scan oracle; meaningful only where Checked
+	ARI      []float64 // chain Cut(k*) agreement with the planted clusters
+	Medoid   []int     // data-set medoid under the Hamming dissimilarity
+}
+
+// RunLinkageScale generates a planted categorical data set per n, builds its
+// condensed Hamming dissimilarity matrix, and clusters it with both linkage
+// engines. Wherever the scan runs (n ≤ ScanCap) the chain's dendrogram is
+// cross-checked against the scan oracle: canonical merges, exact heights,
+// and Cut(k*) partitions must all be identical — the equivalence contract of
+// linkage v2, measured here at experiment scale rather than unit-test scale.
+func RunLinkageScale(cfg LinkageScaleConfig) (*LinkageScale, error) {
+	if len(cfg.Ns) == 0 {
+		cfg.Ns = []int{500, 2000, 5000}
+	}
+	if cfg.Method == 0 {
+		cfg.Method = linkage.Average
+	}
+	if cfg.ScanCap == 0 {
+		cfg.ScanCap = 2000
+	}
+	const kstar = 4
+	ls := &LinkageScale{Method: cfg.Method, Ns: cfg.Ns}
+	for _, n := range cfg.Ns {
+		if n < 2 {
+			return nil, fmt.Errorf("experiments: linkage scale needs n >= 2, got %d", n)
+		}
+		// 16 features: a power-of-two count keeps the normalized Hamming
+		// values on an exact binary grid, where the chain/scan identity for
+		// average linkage is exact (see linkage.BuildChainWorkers).
+		ds := datasets.Synthetic(fmt.Sprintf("link_n%d", n), n, 16, kstar, 0.85,
+			rand.New(rand.NewSource(cfg.Seed+int64(n))))
+		cond := linkage.HammingCondensedWorkers(ds.Rows, cfg.Workers)
+		ls.Medoid = append(ls.Medoid, stats.Medoid(cond))
+
+		start := time.Now()
+		chain, err := linkage.BuildChainWorkers(cond, cfg.Method, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chain linkage at n=%d: %w", n, err)
+		}
+		ls.ChainSec = append(ls.ChainSec, time.Since(start).Seconds())
+
+		cut := chain.Cut(kstar)
+		ari, err := metrics.AdjustedRandIndex(ds.Labels, cut)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: linkage ARI at n=%d: %w", n, err)
+		}
+		ls.ARI = append(ls.ARI, ari)
+
+		if n > cfg.ScanCap {
+			ls.ScanSec = append(ls.ScanSec, math.NaN())
+			ls.Checked = append(ls.Checked, false)
+			ls.Verified = append(ls.Verified, false)
+			continue
+		}
+		start = time.Now()
+		scan, err := linkage.BuildCondensedWorkers(cond, cfg.Method, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scan linkage at n=%d: %w", n, err)
+		}
+		ls.ScanSec = append(ls.ScanSec, time.Since(start).Seconds())
+		ls.Checked = append(ls.Checked, true)
+		ls.Verified = append(ls.Verified, dendrogramsIdentical(scan.Canonical(), chain, kstar))
+		if !ls.Verified[len(ls.Verified)-1] {
+			return nil, fmt.Errorf("experiments: chain/scan dendrograms diverge at n=%d (%v)", n, cfg.Method)
+		}
+	}
+	return ls, nil
+}
+
+// dendrogramsIdentical reports whether two canonical dendrograms carry the
+// same merges (exact heights included) and the same Cut(k) partition.
+func dendrogramsIdentical(a, b *linkage.Dendrogram, k int) bool {
+	if a.N != b.N || len(a.Merges) != len(b.Merges) {
+		return false
+	}
+	for s := range a.Merges {
+		if a.Merges[s] != b.Merges[s] {
+			return false
+		}
+	}
+	ac, bc := a.Cut(k), b.Cut(k)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the sweep as a table: wall-clock per engine, the speedup,
+// oracle verification, clustering agreement, and the Hamming medoid.
+func (ls *LinkageScale) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %12s %12s %9s %9s %7s %8s\n", "n", "scan (s)", "chain (s)", "speedup", "verified", "ARI", "medoid")
+	for i, n := range ls.Ns {
+		scan, verified := "-", "-"
+		speedup := "-"
+		if ls.Checked[i] {
+			scan = fmt.Sprintf("%.3f", ls.ScanSec[i])
+			speedup = fmt.Sprintf("%.1fx", ls.ScanSec[i]/ls.ChainSec[i])
+			verified = fmt.Sprintf("%v", ls.Verified[i])
+		}
+		fmt.Fprintf(w, "%-8d %12s %12.3f %9s %9s %7.3f %8d\n",
+			n, scan, ls.ChainSec[i], speedup, verified, ls.ARI[i], ls.Medoid[i])
+	}
+	fmt.Fprintf(w, "(method %v; scan is the O(n³) oracle, skipped above the cap; chain is O(n²))\n", ls.Method)
+}

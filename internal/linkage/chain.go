@@ -1,0 +1,165 @@
+package linkage
+
+// Nearest-neighbour-chain agglomeration: the O(n²) replacement for the
+// per-step nearest-pair scans of BuildCondensedWorkers. The classic
+// observation (Benzécri/Juan; see Müllner's survey of modern agglomerative
+// algorithms) is that for a *reducible* linkage — single, complete and
+// average all are — merging a reciprocal nearest-neighbour pair is always
+// safe: no later merge can produce a closer pair involving either side. The
+// algorithm therefore walks a chain c₀ → nn(c₀) → nn(nn(c₀)) → … of strictly
+// decreasing dissimilarities until it hits a reciprocal pair, merges it, and
+// resumes from the surviving chain tail. Every iteration either grows the
+// chain (≤ 2n−2 pushes in total) or merges (exactly n−1 times), and each
+// iteration costs at most one O(n) nearest-neighbour scan, giving O(n²)
+// total time against the scan's O(n³) — with no approximation: under the
+// package's total merge order (mergeLess) both algorithms produce the same
+// dendrogram, which the equivalence suite pins via Canonical.
+
+import (
+	"errors"
+	"fmt"
+
+	"mcdc/internal/parallel"
+	"mcdc/internal/similarity"
+)
+
+// BuildChain is BuildChainWorkers with GOMAXPROCS workers.
+func BuildChain(dist *similarity.Condensed, method Method) (*Dendrogram, error) {
+	return BuildChainWorkers(dist, method, 0)
+}
+
+// BuildChainWorkers runs nearest-neighbour-chain agglomerative clustering
+// over a condensed dissimilarity matrix in O(n²) time and O(n²/2) working
+// memory — one condensed clone updated in place, with merged clusters
+// recycling the lower of their two slots, so no step ever reallocates
+// matrix-sized state. A per-cluster nearest-neighbour cache (filled once in
+// parallel, invalidated only for clusters whose cached neighbour was touched
+// by a merge) keeps repeat visits O(1).
+//
+// The result is returned in canonical form (see Dendrogram.Canonical) and is
+// identical to BuildCondensedWorkers' dendrogram — same merges, same heights,
+// same Cut partitions — because both algorithms select merges under the same
+// total order, whose size tie-break makes the linkage reducible even on
+// tie-heavy inputs. For single and complete linkage that identity is exact on
+// every input (min/max arithmetic is order-independent); for average linkage
+// it is exact whenever the input values share a binary grid — integers,
+// dyadic rationals, normalized Hamming distances over a power-of-two feature
+// count — because the sum-form working matrix (see lanceWilliams) then
+// evaluates bit-identical selection values in any merge order. Off-grid
+// inputs can in principle resolve a derived exact tie differently on the two
+// paths (both results are valid dendrograms of the data); the equivalence
+// suite pins the exact domain. The chain walk is inherently sequential (each
+// step depends on the last), so `workers` bounds only the initial cache fill
+// (≤ 0 → GOMAXPROCS); the output is bit-for-bit identical at any parallelism
+// level.
+func BuildChainWorkers(dist *similarity.Condensed, method Method, workers int) (*Dendrogram, error) {
+	n := dist.N()
+	if n == 0 {
+		return nil, errors.New("linkage: empty dissimilarity matrix")
+	}
+	if method != Single && method != Complete && method != Average {
+		return nil, fmt.Errorf("linkage: unknown method %v", method)
+	}
+	if err := validateCondensed(dist); err != nil {
+		return nil, err
+	}
+
+	// Working state, all allocated once. Slot i is the cluster whose smallest
+	// original leaf is i (merges recycle the lower slot), so slot ids double
+	// as the min-leaf component of the merge order.
+	d := dist.Clone()
+	alive := make([]bool, n)
+	size := make([]int, n)
+	node := make([]int, n) // dendrogram node id of working slot i
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		size[i] = 1
+		node[i] = i
+	}
+
+	// Nearest-neighbour cache: nn[c] is the alive slot minimizing the merge
+	// key against c, valid only while valid[c]. rescan recomputes it in one
+	// O(n) pass that streams c's contiguous UpperRow for slots above c and
+	// strides the column below it.
+	nn := make([]int, n)
+	valid := make([]bool, n)
+	rescan := func(c int) {
+		row := d.UpperRow(c)
+		best, bestD, bestSum, bestProd := -1, 0.0, 0, 0
+		for m := 0; m < n; m++ {
+			if !alive[m] || m == c {
+				continue
+			}
+			var v float64
+			if m > c {
+				v = row[m-c-1]
+			} else {
+				v = d.At(m, c)
+			}
+			lo, hi := c, m
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if best < 0 || mergeLess(method, v, size[c]*size[m], size[c]+size[m], lo, hi,
+				bestD, bestProd, bestSum, min(c, best), max(c, best)) {
+				best, bestD, bestSum, bestProd = m, v, size[c]+size[m], size[c]*size[m]
+			}
+		}
+		nn[c] = best
+		valid[c] = best >= 0
+	}
+	// Initial fill: each slot's scan is independent and writes only its own
+	// cache entry, so the fan-out is deterministic at any worker count.
+	parallel.Must(parallel.ForEachChunk(parallel.Gate(workers, n*n), n, func(lo, hi int) error {
+		for c := lo; c < hi; c++ {
+			rescan(c)
+		}
+		return nil
+	}))
+
+	den := &Dendrogram{N: n, Merges: make([]Merge, 0, n-1)}
+	nextID := n
+	chain := make([]int, 0, n)
+	for len(den.Merges) < n-1 {
+		if len(chain) == 0 {
+			// Slot 0 hosts the cluster containing leaf 0 and never dies, so
+			// it (re)starts every chain deterministically.
+			chain = append(chain, 0)
+		}
+		c := chain[len(chain)-1]
+		if !valid[c] {
+			rescan(c)
+		}
+		b := nn[c]
+		if len(chain) >= 2 && chain[len(chain)-2] == b {
+			// Reciprocal nearest neighbours under a total order — merge.
+			chain = chain[:len(chain)-2]
+			lo, hi := c, b
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			den.Merges = append(den.Merges, Merge{A: node[lo], B: node[hi], Parent: nextID, Height: mergeHeight(method, d.At(lo, hi), size[lo], size[hi])})
+			lanceWilliams(d, method, alive, lo, hi)
+			size[lo] += size[hi]
+			alive[hi] = false
+			node[lo] = nextID
+			nextID++
+			// Invalidate exactly the cache entries a Lance–Williams update
+			// can have touched: the merged slot itself and any cluster whose
+			// cached nearest neighbour was one of the two merge sides.
+			// Reducibility guarantees every other cached answer stays correct.
+			valid[lo] = false
+			for m := 0; m < n; m++ {
+				if alive[m] && valid[m] && (nn[m] == lo || nn[m] == hi) {
+					valid[m] = false
+				}
+			}
+		} else {
+			chain = append(chain, b)
+		}
+	}
+	if method == Average {
+		exactAverageHeights(dist, den)
+	}
+	return den.Canonical(), nil
+}

@@ -61,7 +61,10 @@ type Dendrogram struct {
 // matrix with the given linkage method. It is the dense-accepting shim over
 // BuildCondensed: the matrix is packed into condensed triangular form first
 // (halving the working-copy memory), so prefer BuildCondensed when the
-// caller already has a condensed matrix.
+// caller already has a condensed matrix. The input is validated before
+// packing: non-square, asymmetric, NaN, or negative dissimilarities are
+// rejected with a descriptive error instead of silently producing a
+// meaningless dendrogram.
 func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 	n := len(dist)
 	if n == 0 {
@@ -72,11 +75,125 @@ func Build(dist [][]float64, method Method) (*Dendrogram, error) {
 			return nil, fmt.Errorf("linkage: matrix not square at row %d", i)
 		}
 	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// The packing below reads only the upper triangle, which would
+			// silently mask an asymmetric lower half. A symmetrically-placed
+			// NaN pair is NOT asymmetry (NaN != NaN notwithstanding) — it
+			// falls through to validateCondensed, which names the real defect.
+			if dist[i][j] != dist[j][i] && !(math.IsNaN(dist[i][j]) && math.IsNaN(dist[j][i])) {
+				return nil, fmt.Errorf("linkage: matrix asymmetric at (%d, %d): %v vs %v", i, j, dist[i][j], dist[j][i])
+			}
+		}
+	}
 	c, err := similarity.CondensedFromDense(dist, 0)
 	if err != nil {
 		return nil, fmt.Errorf("linkage: %w", err)
 	}
 	return BuildCondensedWorkers(c, method, 0)
+}
+
+// validateCondensed rejects NaN and negative entries in a packed
+// dissimilarity matrix — both would silently corrupt the merge selection
+// (NaN fails every comparison; negative distances break the reducibility the
+// chain algorithm relies on), so every build entry point refuses them with
+// an error naming the offending pair.
+func validateCondensed(d *similarity.Condensed) error {
+	n := d.N()
+	for i := 0; i < n; i++ {
+		for jj, v := range d.UpperRow(i) {
+			if math.IsNaN(v) {
+				return fmt.Errorf("linkage: dissimilarity at (%d, %d) is NaN", i, i+1+jj)
+			}
+			if v < 0 {
+				return fmt.Errorf("linkage: negative dissimilarity %v at (%d, %d)", v, i, i+1+jj)
+			}
+		}
+	}
+	return nil
+}
+
+// mergeLess orders two candidate merges under the package's total order on
+// cluster pairs: the linkage dissimilarity first, then the size of the
+// cluster the merge would create, then the slot pair (slots are min-leaf
+// indices — every merge recycles the lower slot, so a slot id is the
+// smallest original leaf in the cluster). For single and complete linkage
+// the working entries v are the linkage dissimilarities themselves; for
+// average linkage they are inter-cluster dissimilarity *sums* (see
+// lanceWilliams) and p carries the pair's size product |A|·|B|, so the means
+// v1/p1 vs v2/p2 are compared division-free by cross-multiplication.
+//
+// The size component is what keeps the order reducible under ties: a freshly
+// merged cluster is strictly larger than either parent, so a Lance–Williams
+// update can never produce a key below the merge that created it, which is
+// exactly the property that makes the greedy scan and the nearest-neighbour
+// chain resolve every tie identically and agree on one dendrogram. The slot
+// pair makes the order total (distinct coexisting clusters have distinct min
+// leaves), so argmins are unique and independent of scan order.
+//
+// Exactness bound: the cross-products are exact only while sum×product stays
+// within float64's 2^53 exact-integer range — comfortable for the supported
+// sweeps (n = 5000 with unit-scale grids peaks around 2·10¹⁵), but at
+// n ≳ 2·10⁴ the products can round and the on-grid identity guarantee
+// degrades to floating-point tie equivalence, like off-grid inputs.
+func mergeLess(method Method, v1 float64, p1, s1, lo1, hi1 int, v2 float64, p2, s2, lo2, hi2 int) bool {
+	a, b := v1, v2
+	if method == Average {
+		a, b = v1*float64(p2), v2*float64(p1)
+	}
+	if a != b {
+		return a < b
+	}
+	if s1 != s2 {
+		return s1 < s2
+	}
+	if lo1 != lo2 {
+		return lo1 < lo2
+	}
+	return hi1 < hi2
+}
+
+// lanceWilliams folds cluster hi into cluster lo on the working matrix:
+// d(lo, m) becomes the method's combination of d(lo, m) and d(hi, m) for
+// every other alive cluster m. Both the scan and the chain agglomerator call
+// this with lo < hi, so the floating-point expression evaluated for a given
+// merge is identical on either path.
+//
+// For average linkage the working matrix holds inter-cluster dissimilarity
+// SUMS rather than means: the update is then a pure addition, T(lo∪hi, m) =
+// T(lo, m) + T(hi, m). Additions commute where the incremental weighted-mean
+// recurrence does not — on inputs whose values share an exact binary grid
+// (integers, dyadic rationals, normalized Hamming with a power-of-two
+// feature count) every sum is exact no matter which merge order produced it,
+// so the scan and the chain see bit-identical selection values and cannot
+// diverge on derived ties. Means are recovered only at comparison time
+// (mergeLess cross-multiplies) and at merge time (the recorded height),
+// never stored.
+func lanceWilliams(d *similarity.Condensed, method Method, alive []bool, lo, hi int) {
+	n := d.N()
+	for m := 0; m < n; m++ {
+		if !alive[m] || m == lo || m == hi {
+			continue
+		}
+		switch method {
+		case Single:
+			d.Set(lo, m, math.Min(d.At(lo, m), d.At(hi, m)))
+		case Complete:
+			d.Set(lo, m, math.Max(d.At(lo, m), d.At(hi, m)))
+		case Average:
+			d.Set(lo, m, d.At(lo, m)+d.At(hi, m))
+		}
+	}
+}
+
+// mergeHeight converts a working-matrix entry for a selected merge into the
+// linkage height: the entry itself for single/complete, the mean T/(|A|·|B|)
+// for average (whose working entries are sums).
+func mergeHeight(method Method, v float64, sizeA, sizeB int) float64 {
+	if method == Average {
+		return v / float64(sizeA*sizeB)
+	}
+	return v
 }
 
 // BuildCondensed is BuildCondensedWorkers with GOMAXPROCS workers.
@@ -88,10 +205,11 @@ func BuildCondensed(dist *similarity.Condensed, method Method) (*Dendrogram, err
 // dissimilarity matrix: O(n²/2) working memory (a condensed clone) and
 // O(n³/2) time via per-step nearest-pair scans. Each scan is row-chunked
 // across at most `workers` goroutines (≤ 0 → GOMAXPROCS, 1 → sequential)
-// with per-chunk minima folded in chunk order under a strict < comparison,
-// which reproduces the sequential scan's first-minimum tie-break exactly —
-// the dendrogram is bit-for-bit identical at any parallelism level, and to
-// the dense path (the Lance–Williams arithmetic is unchanged).
+// with per-chunk minima folded in chunk order under the package's total
+// order on candidate merges (mergeLess) — the argmin is unique, so the
+// dendrogram is bit-for-bit identical at any parallelism level, to the dense
+// path, and (after Canonical reordering) to the O(n²) chain path in
+// BuildChainWorkers, for which this scan is the cross-check oracle.
 func BuildCondensedWorkers(dist *similarity.Condensed, method Method, workers int) (*Dendrogram, error) {
 	n := dist.N()
 	if n == 0 {
@@ -99,6 +217,9 @@ func BuildCondensedWorkers(dist *similarity.Condensed, method Method, workers in
 	}
 	if method != Single && method != Complete && method != Average {
 		return nil, fmt.Errorf("linkage: unknown method %v", method)
+	}
+	if err := validateCondensed(dist); err != nil {
+		return nil, err
 	}
 
 	// Working copy; entries valid only for alive clusters.
@@ -115,48 +236,38 @@ func BuildCondensedWorkers(dist *similarity.Condensed, method Method, workers in
 	den := &Dendrogram{N: n}
 	nextID := n
 	for step := 0; step < n-1; step++ {
-		bi, bj, best := nearestAlivePair(d, alive, workers)
+		bi, bj, best := nearestAlivePair(d, method, alive, size, workers)
 		if bi < 0 {
 			break
 		}
-		den.Merges = append(den.Merges, Merge{A: node[bi], B: node[bj], Parent: nextID, Height: best})
-		// Lance–Williams update into slot bi.
-		for m := 0; m < n; m++ {
-			if !alive[m] || m == bi || m == bj {
-				continue
-			}
-			switch method {
-			case Single:
-				d.Set(bi, m, math.Min(d.At(bi, m), d.At(bj, m)))
-			case Complete:
-				d.Set(bi, m, math.Max(d.At(bi, m), d.At(bj, m)))
-			case Average:
-				wi, wj := float64(size[bi]), float64(size[bj])
-				d.Set(bi, m, (wi*d.At(bi, m)+wj*d.At(bj, m))/(wi+wj))
-			}
-		}
+		den.Merges = append(den.Merges, Merge{A: node[bi], B: node[bj], Parent: nextID, Height: mergeHeight(method, best, size[bi], size[bj])})
+		lanceWilliams(d, method, alive, bi, bj)
 		size[bi] += size[bj]
 		alive[bj] = false
 		node[bi] = nextID
 		nextID++
 	}
+	if method == Average {
+		exactAverageHeights(dist, den)
+	}
 	return den, nil
 }
 
-// pairCand is one candidate merge of the nearest-pair scan.
+// pairCand is one candidate merge of the nearest-pair scan: the working
+// entry d for slot pair (i, j), the merged size sum, and the size product
+// prod (the mean denominator under average linkage).
 type pairCand struct {
-	i, j int
-	d    float64
+	i, j, sum, prod int
+	d               float64
 }
 
-// nearestAlivePair finds the alive pair (i, j>i) with the smallest
-// dissimilarity, ties broken by lowest (i, j) — the same pair a sequential
-// scan with strict < selects. Rows are chunked with workers-independent
-// boundaries; per-chunk minima merge in chunk (hence ascending-i) order under
-// strict <, so the selection is identical at any parallelism level. Each row
+// nearestAlivePair finds the alive pair (i, j>i) minimizing the package's
+// total merge order (mergeLess): smallest linkage dissimilarity, ties broken
+// by merged size then slot pair. The order is total, so the argmin is unique
+// and the chunk-ordered fold returns it at any parallelism level. Each row
 // streams its contiguous UpperRow slice, which is what makes the O(n²/2)
 // scan cache-friendly.
-func nearestAlivePair(d *similarity.Condensed, alive []bool, workers int) (int, int, float64) {
+func nearestAlivePair(d *similarity.Condensed, method Method, alive []bool, size []int, workers int) (int, int, float64) {
 	n := d.N()
 	none := pairCand{i: -1, j: -1, d: math.Inf(1)}
 	best, err := parallel.MapReduce(parallel.Gate(workers, n*n/2), n, none,
@@ -168,15 +279,19 @@ func nearestAlivePair(d *similarity.Condensed, alive []bool, workers int) (int, 
 				}
 				row := d.UpperRow(i)
 				for jj, v := range row {
-					if j := i + 1 + jj; alive[j] && v < b.d {
-						b = pairCand{i: i, j: j, d: v}
+					j := i + 1 + jj
+					if !alive[j] || (method != Average && v > b.d) {
+						continue
+					}
+					if b.i < 0 || mergeLess(method, v, size[i]*size[j], size[i]+size[j], i, j, b.d, b.prod, b.sum, b.i, b.j) {
+						b = pairCand{i: i, j: j, sum: size[i] + size[j], prod: size[i] * size[j], d: v}
 					}
 				}
 			}
 			return b, nil
 		},
 		func(acc, next pairCand) pairCand {
-			if next.d < acc.d {
+			if next.i >= 0 && (acc.i < 0 || mergeLess(method, next.d, next.prod, next.sum, next.i, next.j, acc.d, acc.prod, acc.sum, acc.i, acc.j)) {
 				return next
 			}
 			return acc
@@ -233,6 +348,172 @@ func (den *Dendrogram) Heights() []float64 {
 	out := make([]float64, len(den.Merges))
 	for i, m := range den.Merges {
 		out[i] = m.Height
+	}
+	return out
+}
+
+// exactAverageHeights replaces the incrementally maintained average-linkage
+// heights with their canonical evaluation: for each merge A∪B, the flat sum
+// of the original dissimilarities over A×B (children ordered min-leaf first,
+// members in ascending leaf order) divided by |A|·|B|. The incremental
+// Lance–Williams recurrence computes the same rational value but associates
+// its floating-point additions by merge *time*, which differs between the
+// scan and the chain — leaving the two paths' heights apart by an ulp. The
+// canonical evaluation depends only on the tree, so both builders run it and
+// their heights become bit-for-bit identical (single and complete linkage
+// need no such pass: min/max arithmetic is order-independent). Each leaf
+// pair is summed exactly once across all merges, so the pass is O(n²) —
+// free next to either builder.
+func exactAverageHeights(orig *similarity.Condensed, den *Dendrogram) {
+	members := make([][]int, den.N+len(den.Merges))
+	for i := 0; i < den.N; i++ {
+		members[i] = []int{i}
+	}
+	for s, m := range den.Merges {
+		a, b := members[m.A], members[m.B]
+		if b[0] < a[0] {
+			a, b = b, a
+		}
+		var t float64
+		for _, x := range a {
+			for _, y := range b {
+				t += orig.At(x, y)
+			}
+		}
+		den.Merges[s].Height = t / (float64(len(a)) * float64(len(b)))
+		merged := make([]int, 0, len(a)+len(b))
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i] < b[j] {
+				merged = append(merged, a[i])
+				i++
+			} else {
+				merged = append(merged, b[j])
+				j++
+			}
+		}
+		merged = append(append(merged, a[i:]...), b[j:]...)
+		members[m.Parent] = merged
+		members[m.A], members[m.B] = nil, nil // each node is a child once
+	}
+}
+
+// Canonical returns the dendrogram in canonical form: merges sorted by
+// (height, merged size, min-leaf pair) — the same total order the greedy
+// scan selects merges under — with each merge's children ordered min-leaf
+// first and parent ids relabelled n..2n-2 in sorted order. Two equivalent
+// dendrograms over the same merge set canonicalize to identical Merges
+// slices even when they were emitted in different orders, which is how the
+// chain agglomerator (local, reciprocal-nearest-neighbour merge order) is
+// proven against the scan (global, height-sorted merge order). The scan's
+// output is already canonical, so Canonical is idempotent on it; Cut and
+// NaturalCut require the canonical (height-sorted) order to be meaningful,
+// which is why BuildChain canonicalizes before returning.
+//
+// The sort key is intrinsic to the tree: each cluster's size and minimum
+// leaf are recomputed from the merges, and within one dendrogram the key is
+// strictly totally ordered (every merge retires a distinct min-leaf, and a
+// parent's merged size strictly exceeds its childrens'), so the result is
+// unique. Children precede parents in the key order on every
+// exact-arithmetic input; the one floating-point exception (off-grid
+// average heights rounding a parent an ulp below its child) is repaired by
+// a deterministic priority-topological pass, keeping the output a
+// structurally valid dendrogram in all cases.
+func (den *Dendrogram) Canonical() *Dendrogram {
+	n := den.N
+	total := n + len(den.Merges)
+	size := make([]int, total)
+	leaf := make([]int, total) // smallest original leaf in the node's cluster
+	for i := 0; i < n; i++ {
+		size[i] = 1
+		leaf[i] = i
+	}
+	type rec struct {
+		m      Merge
+		sum    int // size of the merged cluster
+		lo, hi int // sorted min leaves of the two children
+	}
+	recs := make([]rec, len(den.Merges))
+	for s, m := range den.Merges {
+		size[m.Parent] = size[m.A] + size[m.B]
+		a, b := m.A, m.B
+		if leaf[b] < leaf[a] {
+			a, b = b, a
+		}
+		leaf[m.Parent] = leaf[a]
+		recs[s] = rec{
+			m:   Merge{A: a, B: b, Parent: m.Parent, Height: m.Height},
+			sum: size[m.Parent], lo: leaf[a], hi: leaf[b],
+		}
+	}
+	sort.Slice(recs, func(x, y int) bool {
+		rx, ry := &recs[x], &recs[y]
+		if rx.m.Height != ry.m.Height {
+			return rx.m.Height < ry.m.Height
+		}
+		if rx.sum != ry.sum {
+			return rx.sum < ry.sum
+		}
+		if rx.lo != ry.lo {
+			return rx.lo < ry.lo
+		}
+		return rx.hi < ry.hi
+	})
+	// The sorted order almost always has children before parents already (a
+	// parent's height is ≥ its children's and its merged size is strictly
+	// larger). The one exception: off-grid average-linkage inputs, where
+	// exactAverageHeights can round a parent's height one ulp *below* a
+	// child's. A priority-topological pass repairs that deterministically —
+	// each merge is emitted at the earliest sorted position at which both its
+	// children exist — and is the identity whenever the sorted order is
+	// already consistent, i.e. on every exact-arithmetic input. Each node is
+	// the child of exactly one merge, so a blocked merge waits on a single
+	// releasing node and the pass is O(n).
+	placed := make([]bool, total)
+	for i := 0; i < n; i++ {
+		placed[i] = true
+	}
+	waiter := make(map[int]int) // node id → sorted index of the merge waiting on it
+	order := make([]int, 0, len(recs))
+	blockedOn := func(ri int) (int, bool) {
+		if !placed[recs[ri].m.A] {
+			return recs[ri].m.A, true
+		}
+		if !placed[recs[ri].m.B] {
+			return recs[ri].m.B, true
+		}
+		return 0, false
+	}
+	var emit func(ri int)
+	emit = func(ri int) {
+		if blk, blocked := blockedOn(ri); blocked {
+			waiter[blk] = ri
+			return
+		}
+		order = append(order, ri)
+		parent := recs[ri].m.Parent
+		placed[parent] = true
+		if next, ok := waiter[parent]; ok {
+			delete(waiter, parent)
+			emit(next)
+		}
+	}
+	for ri := range recs {
+		emit(ri)
+	}
+	remap := make([]int, total)
+	for i := 0; i < n; i++ {
+		remap[i] = i
+	}
+	for s, ri := range order {
+		remap[recs[ri].m.Parent] = n + s
+	}
+	out := &Dendrogram{N: n, Merges: make([]Merge, len(order))}
+	for s, ri := range order {
+		out.Merges[s] = Merge{
+			A: remap[recs[ri].m.A], B: remap[recs[ri].m.B],
+			Parent: n + s, Height: recs[ri].m.Height,
+		}
 	}
 	return out
 }

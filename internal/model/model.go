@@ -266,15 +266,25 @@ func (s *Snapshot) validate() error {
 }
 
 // Assign places one integer-coded row under the frozen model. It is safe for
-// concurrent use: the snapshot is read-only after Build/Load.
+// concurrent use: the snapshot is read-only after Build/Load. Each call
+// allocates the result's Encoding slice; on a steady-state serving hot path
+// prefer an Assigner, which reuses one scratch buffer and allocates nothing.
 func (s *Snapshot) Assign(row []int) (Assignment, error) {
-	if len(row) != len(s.Cardinalities) {
-		return Assignment{}, fmt.Errorf("model: row has %d features, schema has %d", len(row), len(s.Cardinalities))
-	}
 	if s.tables == nil {
 		return Assignment{}, errors.New("model: snapshot not initialized (obtain it via Build or Load)")
 	}
-	enc := make([]int, len(s.tables))
+	return s.assignInto(row, make([]int, len(s.tables)))
+}
+
+// assignInto is Assign's allocation-free core: the level probe and the
+// θ-weighted nearest-mode selection, writing the reconstructed Γ encoding
+// into enc (len == Sigma) and returning it as Assignment.Encoding. Callers
+// own enc's lifetime: Assign hands over a fresh slice, Assigner and
+// AssignBatch reuse scratch/block storage.
+func (s *Snapshot) assignInto(row []int, enc []int) (Assignment, error) {
+	if len(row) != len(s.Cardinalities) {
+		return Assignment{}, fmt.Errorf("model: row has %d features, schema has %d", len(row), len(s.Cardinalities))
+	}
 	for j, t := range s.tables {
 		best, bestSim := 0, t.ProbeSim(row, 0)
 		for l := 1; l < t.K(); l++ {
@@ -307,17 +317,74 @@ func (s *Snapshot) Assign(row []int) (Assignment, error) {
 	return Assignment{Cluster: best, Similarity: sim, Encoding: enc}, nil
 }
 
+// Assigner is a reusable assignment scratch bound to one Snapshot: its
+// Assign replays exactly Snapshot.Assign but writes the reconstructed
+// encoding into a buffer owned by the Assigner, so the steady-state path
+// performs zero allocations per call (asserted by testing.AllocsPerRun in
+// the package tests, surfaced by BenchmarkServerAssign). The price of zero
+// allocs is aliasing: the returned Assignment.Encoding points into the
+// scratch and is valid only until the next Assign or Bind. An Assigner is
+// NOT safe for concurrent use — give each goroutine its own (internal/server
+// keeps them in a sync.Pool); the zero value is usable after Bind.
+type Assigner struct {
+	snap *Snapshot
+	enc  []int
+}
+
+// NewAssigner returns an Assigner bound to the snapshot.
+func (s *Snapshot) NewAssigner() *Assigner {
+	a := &Assigner{}
+	a.Bind(s)
+	return a
+}
+
+// Bind points the assigner at snap, growing the scratch only when snap has
+// more granularity levels than any snapshot bound before — rebinding across
+// hot swaps of same-shaped models allocates nothing.
+func (a *Assigner) Bind(s *Snapshot) {
+	a.snap = s
+	if cap(a.enc) < len(s.tables) {
+		a.enc = make([]int, len(s.tables))
+	}
+	a.enc = a.enc[:len(s.tables)]
+}
+
+// Unbind drops the assigner's snapshot reference while keeping its scratch,
+// so a pooled assigner does not pin a retired model in memory between
+// requests (the serving daemon unbinds before returning one to its pool).
+func (a *Assigner) Unbind() { a.snap = nil }
+
+// Assign places one row under the bound snapshot. See the type comment for
+// the Encoding aliasing contract.
+func (a *Assigner) Assign(row []int) (Assignment, error) {
+	if a.snap == nil {
+		return Assignment{}, errors.New("model: assigner not bound to a snapshot")
+	}
+	if a.snap.tables == nil {
+		return Assignment{}, errors.New("model: snapshot not initialized (obtain it via Build or Load)")
+	}
+	return a.snap.assignInto(row, a.enc)
+}
+
 // AssignBatch assigns every row, fanning the independent per-row probes out
 // over at most `workers` goroutines (≤ 0 → GOMAXPROCS) through
 // internal/parallel. Each chunk writes only its own result slots and every
-// Assign is a pure function of the frozen snapshot, so the output is
-// bit-for-bit identical at any parallelism level.
+// assignment is a pure function of the frozen snapshot, so the output is
+// bit-for-bit identical at any parallelism level. All per-row encodings are
+// carved out of one backing block (full slices, so appending to one cannot
+// clobber a neighbour), which keeps the fan-out at O(1) allocations per
+// batch instead of one per row.
 func (s *Snapshot) AssignBatch(rows [][]int, workers int) ([]Assignment, error) {
+	if s.tables == nil {
+		return nil, errors.New("model: snapshot not initialized (obtain it via Build or Load)")
+	}
 	out := make([]Assignment, len(rows))
-	err := parallel.ForEachChunk(parallel.Gate(workers, len(rows)*len(s.Cardinalities)*len(s.Levels)), len(rows),
+	sigma := len(s.tables)
+	block := make([]int, len(rows)*sigma)
+	err := parallel.ForEachChunk(parallel.Gate(workers, len(rows)*len(s.Cardinalities)*sigma), len(rows),
 		func(lo, hi int) error {
 			for i := lo; i < hi; i++ {
-				a, err := s.Assign(rows[i])
+				a, err := s.assignInto(rows[i], block[i*sigma:(i+1)*sigma:(i+1)*sigma])
 				if err != nil {
 					return fmt.Errorf("row %d: %w", i, err)
 				}

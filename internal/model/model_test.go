@@ -253,3 +253,100 @@ func TestStreamStateRoundTrip(t *testing.T) {
 		t.Fatal("model snapshot accepted as stream checkpoint")
 	}
 }
+
+// TestAssignerMatchesAssign pins the scratch path against the allocating
+// path row by row (cluster, similarity, and encoding values), and the
+// aliasing contract: the returned encoding lives in the assigner's scratch.
+func TestAssignerMatchesAssign(t *testing.T) {
+	snap, _, rows := trainSnapshot(t, 300, 7, 3, 13)
+	a := snap.NewAssigner()
+	var prev []int
+	for i, row := range rows {
+		want, err := snap.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cluster != want.Cluster || got.Similarity != want.Similarity {
+			t.Fatalf("row %d: assigner (%d, %v) vs snapshot (%d, %v)", i, got.Cluster, got.Similarity, want.Cluster, want.Similarity)
+		}
+		if !reflect.DeepEqual(got.Encoding, want.Encoding) {
+			t.Fatalf("row %d: assigner encoding %v vs %v", i, got.Encoding, want.Encoding)
+		}
+		if prev != nil && &got.Encoding[0] != &prev[0] {
+			t.Fatal("assigner did not reuse its scratch encoding")
+		}
+		prev = got.Encoding
+	}
+}
+
+// TestAssignerZeroAllocs is the allocation gate of the serving hot path: a
+// bound Assigner must assign in 0 allocs/op at steady state.
+func TestAssignerZeroAllocs(t *testing.T) {
+	snap, _, rows := trainSnapshot(t, 200, 6, 3, 17)
+	a := snap.NewAssigner()
+	row := rows[0]
+	if _, err := a.Assign(row); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := a.Assign(row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Assigner.Assign allocates %v/op at steady state, want 0", allocs)
+	}
+	// Rebinding to the same-shaped snapshot must not allocate either (the
+	// serving daemon rebinds a pooled assigner on every request).
+	allocs = testing.AllocsPerRun(200, func() {
+		a.Bind(snap)
+		if _, err := a.Assign(row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Bind+Assign allocates %v/op at steady state, want 0", allocs)
+	}
+}
+
+// TestAssignerValidation mirrors Assign's error cases on the scratch path.
+func TestAssignerValidation(t *testing.T) {
+	var unbound Assigner
+	if _, err := unbound.Assign([]int{0}); err == nil {
+		t.Error("unbound assigner: want error")
+	}
+	snap, _, _ := trainSnapshot(t, 120, 5, 2, 19)
+	a := snap.NewAssigner()
+	if _, err := a.Assign([]int{0, 1}); err == nil {
+		t.Error("short row: want error")
+	}
+}
+
+// TestAssignBatchEncodingsIndependent pins the block-carved encodings: they
+// must equal the per-row path and appending to one must not clobber its
+// neighbour.
+func TestAssignBatchEncodingsIndependent(t *testing.T) {
+	snap, _, rows := trainSnapshot(t, 150, 6, 3, 23)
+	batch, err := snap.AssignBatch(rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		want, err := snap.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i].Encoding, want.Encoding) {
+			t.Fatalf("row %d: batch encoding %v vs %v", i, batch[i].Encoding, want.Encoding)
+		}
+	}
+	before := append([]int(nil), batch[1].Encoding...)
+	_ = append(batch[0].Encoding, 99) // full slice: must reallocate, not spill
+	if !reflect.DeepEqual(batch[1].Encoding, before) {
+		t.Fatal("appending to one batch encoding clobbered its neighbour")
+	}
+}

@@ -70,6 +70,15 @@ type Server struct {
 	sessions *sessionPool
 	metrics  *metrics
 	mux      *http.ServeMux
+	// assigners pools per-goroutine model.Assigner scratches for the
+	// stateless assign hot path: Bind re-points a pooled scratch at the
+	// current snapshot (no allocation across hot swaps of same-shaped
+	// models), so steady-state /assign performs zero allocations in the
+	// probe itself. Pooled entries must be Put back only after the response
+	// is serialized — the Assignment.Encoding aliases the scratch — and
+	// unbound first, so a pooled entry never pins a hot-swapped or deleted
+	// snapshot in memory.
+	assigners sync.Pool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -94,6 +103,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		stop:     make(chan struct{}),
 	}
+	s.assigners.New = func() any { return &model.Assigner{} }
 	s.routes()
 	if cfg.RelearnEvery > 0 {
 		s.wg.Add(1)
@@ -343,7 +353,16 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		snap := sm.load()
-		a, err := snap.Assign(req.Row)
+		asg := s.assigners.Get().(*model.Assigner)
+		// Deferred so every return path (and a panicking encoder) unbinds —
+		// a pooled entry must never pin a hot-swapped snapshot — and the
+		// scratch-aliased Encoding is serialized before the Put runs.
+		defer func() {
+			asg.Unbind()
+			s.assigners.Put(asg)
+		}()
+		asg.Bind(snap)
+		a, err := asg.Assign(req.Row)
 		if err != nil {
 			s.metrics.assignErrors.Add(1)
 			writeError(w, http.StatusBadRequest, "%v", err)

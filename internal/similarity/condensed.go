@@ -85,6 +85,23 @@ func (c *Condensed) UpperRow(i int) []float64 {
 	return c.data[c.rowStart(i):c.rowStart(i+1)]
 }
 
+// UpperRowInto copies the stored entries (i, i+1), …, (i, n−1) of row i into
+// dst and returns the filled prefix. UpperRow already returns an
+// allocation-free *view* — use it when a view suffices (stats.RowSums and
+// the linkage scans do). UpperRowInto is the copying counterpart for callers
+// that need the values somewhere else: a caller-owned destination (Dense's
+// output rows), or a snapshot that stays stable while the matrix is mutated
+// (the linkage tie-heavy test harness reuses one scratch across rows, so a
+// whole-matrix copy performs zero per-row allocations). dst must have
+// capacity for n−1−i entries; reslicing panics otherwise, like any
+// fixed-capacity destination.
+func (c *Condensed) UpperRowInto(i int, dst []float64) []float64 {
+	row := c.data[c.rowStart(i):c.rowStart(i+1)]
+	dst = dst[:len(row)]
+	copy(dst, row)
+	return dst
+}
+
 // Clone returns an independent deep copy — the working-copy primitive for
 // algorithms (linkage) that destructively update the matrix.
 func (c *Condensed) Clone() *Condensed {
@@ -120,7 +137,7 @@ func (c *Condensed) Dense(workers int) [][]float64 {
 			for j := 0; j < i; j++ {
 				row[j] = c.data[c.offset(j, i)]
 			}
-			copy(row[i+1:], c.UpperRow(i))
+			c.UpperRowInto(i, row[i+1:])
 			out[i] = row
 		}
 		return nil

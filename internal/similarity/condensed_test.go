@@ -211,3 +211,41 @@ func TestMeanPairwise(t *testing.T) {
 		t.Errorf("Condensed.Mean = %v, streaming MeanPairwise = %v", got, seq)
 	}
 }
+
+// TestUpperRowInto pins the copying row accessor against UpperRow: same
+// values, caller-owned storage (mutating the copy must not touch the
+// matrix), reuse of one scratch across rows, and the capacity contract.
+func TestUpperRowInto(t *testing.T) {
+	n := 7
+	c := NewCondensed(n, 0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.Set(i, j, float64(i*10+j))
+		}
+	}
+	scratch := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		got := c.UpperRowInto(i, scratch)
+		want := c.UpperRow(i)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: length %d, want %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("row %d entry %d: %v, want %v", i, k, got[k], want[k])
+			}
+		}
+		if len(got) > 0 {
+			got[0] = -1
+			if c.UpperRow(i)[0] == -1 {
+				t.Fatal("UpperRowInto aliases the matrix backing array")
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short destination: want panic")
+		}
+	}()
+	c.UpperRowInto(0, make([]float64, 2))
+}

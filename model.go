@@ -76,8 +76,19 @@ func (m *Model) Save(path string) error { return m.snap.SaveFile(path) }
 func (m *Model) Write(w io.Writer) error { return m.snap.Save(w) }
 
 // Assign places one integer-coded row under the model. Safe for concurrent
-// use.
+// use. Each call allocates the assignment's Encoding; a serving hot path
+// should prefer NewAssigner, whose scratch-reusing Assign is allocation-free.
 func (m *Model) Assign(row []int) (ModelAssignment, error) { return m.snap.Assign(row) }
+
+// ModelAssigner is a reusable assignment scratch for one model: same answers
+// as Model.Assign with zero allocations per call at steady state. The
+// returned assignment's Encoding aliases the scratch (valid until the next
+// Assign), and a ModelAssigner must not be shared across goroutines — pool
+// one per worker, as the mcdcd daemon does.
+type ModelAssigner = model.Assigner
+
+// NewAssigner returns an assignment scratch bound to this model.
+func (m *Model) NewAssigner() *ModelAssigner { return m.snap.NewAssigner() }
 
 // AssignBatch assigns every row, fanning out over at most `workers`
 // goroutines (≤ 0 → GOMAXPROCS) with the repository's bit-for-bit

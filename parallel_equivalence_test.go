@@ -155,6 +155,42 @@ func TestLinkageParallelismEquivalence(t *testing.T) {
 	}
 }
 
+// TestChainLinkageEquivalence pins the O(n²) nearest-neighbour-chain path —
+// the production linkage engine — against the O(n³) scan oracle on a real
+// benchmark data set (Vot.: 16 binary features, so its normalized Hamming
+// distances are massively tied AND sit on an exact binary grid, where the
+// scan/chain identity is exact for every method): canonically identical
+// merges and heights, identical CutK partitions, at parallelism 1, 2 and
+// GOMAXPROCS.
+func TestChainLinkageEquivalence(t *testing.T) {
+	ds, err := mcdc.Builtin("Vot.", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := linkage.HammingCondensedWorkers(ds.Rows, 0)
+	for _, method := range []linkage.Method{linkage.Single, linkage.Complete, linkage.Average} {
+		scan, err := linkage.BuildCondensedWorkers(cond, method, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := scan.Canonical()
+		for _, workers := range []int{1, 2, 0} {
+			chain, err := linkage.BuildChainWorkers(cond, method, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(oracle.Merges, chain.Merges) {
+				t.Fatalf("%v: chain dendrogram (workers=%d) differs from the scan oracle", method, workers)
+			}
+			for _, k := range []int{2, 3, 5} {
+				if !equalIntSlices(oracle.Cut(k), chain.Cut(k)) {
+					t.Fatalf("%v: Cut(%d) differs between chain (workers=%d) and scan", method, k, workers)
+				}
+			}
+		}
+	}
+}
+
 // TestExperimentsFanoutEquivalence pins the per-dataset fan-out of the
 // experiments harness: the Table-III cells must be bit-for-bit identical at
 // parallelism 1, 2, and GOMAXPROCS.
