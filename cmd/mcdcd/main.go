@@ -7,6 +7,12 @@
 //	mcdcd -model nodes=nodes.bin [-model other=other.bin] [-addr 127.0.0.1:8080]
 //	      [-relearn 10m] [-relearn-min 64] [-buffer 4096]
 //	      [-seed 1] [-parallel 0] [-shards 16] [-addr-file path]
+//	      [-state-dir dir] [-checkpoint 30s] [-session-ttl 1h]
+//
+// Gateway mode — a consistent-hash front end over a fleet of backends:
+//
+//	mcdcd -backends 127.0.0.1:8081,127.0.0.1:8082 [-ring-replicas 128]
+//	      [-health 5s] [-addr :8080] [-addr-file path]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -18,9 +24,12 @@
 //
 // -addr supports port 0 (pick a free port); the resolved address is printed
 // on stdout and, with -addr-file, written to a file so scripts can wait for
-// the daemon deterministically. With -relearn > 0 a background worker
-// periodically re-trains every model on its recent traffic window and
-// hot-swaps it under a bumped epoch.
+// the daemon deterministically (the file is removed again on shutdown, so a
+// stale address from a dead daemon never fools a wait loop). With -relearn
+// > 0 a background worker periodically re-trains every model on its recent
+// traffic window and hot-swaps it under a bumped epoch. With -state-dir the
+// daemon checkpoints every streaming session (periodically, on shutdown, and
+// on POST /checkpoint) and a restart resumes each one bit-for-bit.
 package main
 
 import (
@@ -65,7 +74,7 @@ func run() error {
 	var models modelFlags
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = pick a free port)")
-		addrFile   = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+		addrFile   = flag.String("addr-file", "", "write the resolved listen address to this file (removed on shutdown)")
 		relearn    = flag.Duration("relearn", 0, "background re-learn interval (0 = disabled)")
 		relearnMin = flag.Int("relearn-min", 64, "minimum buffered traffic rows before a re-learn")
 		buffer     = flag.Int("buffer", 4096, "per-model traffic window capacity")
@@ -73,28 +82,62 @@ func run() error {
 		par        = flag.Int("parallel", 0, "worker goroutines per request fan-out (0 = all cores)")
 		shards     = flag.Int("shards", 16, "lock shards of the streaming-session pool")
 		window     = flag.Int("session-window", 0, "default window size of new sessions (0 = stream default)")
+		stateDir   = flag.String("state-dir", "", "persist session checkpoints under this directory and resume them on startup")
+		checkpoint = flag.Duration("checkpoint", 30*time.Second, "periodic session-checkpoint interval with -state-dir (0 = only on shutdown and POST /checkpoint)")
+		sessionTTL = flag.Duration("session-ttl", 0, "evict streaming sessions idle this long (0 = never; with -state-dir eviction spills to disk)")
+		backends   = flag.String("backends", "", "comma-separated backend addresses: run as a consistent-hash gateway instead of serving models")
+		replicas   = flag.Int("ring-replicas", 128, "virtual nodes per backend on the gateway hash ring")
+		health     = flag.Duration("health", 5*time.Second, "gateway per-backend health-check interval (0 = disabled)")
 	)
 	flag.Var(&models, "model", "serve a model snapshot as name=path (repeatable)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		Seed:                 *seed,
-		Workers:              *par,
-		SessionShards:        *shards,
-		RelearnEvery:         *relearn,
-		RelearnMin:           *relearnMin,
-		BufferSize:           *buffer,
-		DefaultSessionWindow: *window,
-		Logf:                 log.Printf,
-	})
-	defer srv.Close()
-	for _, m := range models {
-		if _, err := srv.LoadModelFile(m.name, m.path); err != nil {
+	var handler http.Handler
+	if *backends != "" {
+		if len(models) > 0 || *stateDir != "" || *relearn > 0 {
+			return errors.New("-backends (gateway mode) is incompatible with -model, -state-dir, and -relearn — those belong on the backends")
+		}
+		gw, err := server.NewGateway(server.GatewayConfig{
+			Backends:    strings.Split(*backends, ","),
+			Replicas:    *replicas,
+			HealthEvery: *health,
+			Logf:        log.Printf,
+		})
+		if err != nil {
 			return err
 		}
-	}
-	if len(models) == 0 {
-		log.Printf("no -model given; starting empty (load models via POST /models)")
+		defer gw.Close()
+		log.Printf("gateway over %d backend(s): %s", len(gw.Backends()), strings.Join(gw.Backends(), ", "))
+		handler = gw.Handler()
+	} else {
+		srv, err := server.New(server.Config{
+			Seed:                 *seed,
+			Workers:              *par,
+			SessionShards:        *shards,
+			RelearnEvery:         *relearn,
+			RelearnMin:           *relearnMin,
+			BufferSize:           *buffer,
+			DefaultSessionWindow: *window,
+			StateDir:             *stateDir,
+			CheckpointEvery:      *checkpoint,
+			SessionTTL:           *sessionTTL,
+			Logf:                 log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		// Runs after the HTTP server has drained: with -state-dir this is the
+		// final checkpoint flush, so a SIGTERM loses no session state.
+		defer srv.Close()
+		for _, m := range models {
+			if _, _, err := srv.LoadModelFile(m.name, m.path); err != nil {
+				return err
+			}
+		}
+		if len(models) == 0 {
+			log.Printf("no -model given; starting empty (load models via POST /models)")
+		}
+		handler = srv.Handler()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -108,9 +151,12 @@ func run() error {
 			ln.Close()
 			return err
 		}
+		// A dead daemon must not leave its address behind: wait-for-ready
+		// scripts treat the file's existence as liveness.
+		defer os.Remove(*addrFile)
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

@@ -45,9 +45,12 @@ func main() {
 	fmt.Printf("trained and froze model: k=%d, kappa=%v → %s\n", m.K(), m.Kappa(), path)
 
 	// 2. Serve it (what `mcdcd -model nodes=nodes.bin` does).
-	srv := server.New(server.Config{Seed: 1})
+	srv, err := server.New(server.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
-	if _, err := srv.LoadModelFile("nodes", path); err != nil {
+	if _, _, err := srv.LoadModelFile("nodes", path); err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -17,6 +17,12 @@ type Coordinator struct {
 	rows [][]int
 	card []int
 
+	// ProtoMin/ProtoMax override the advertised protocol-version range
+	// (0 → the build's ProtoMin/ProtoMax). Set before Start; tests use them
+	// to pin mixed-fleet handshakes.
+	ProtoMin int
+	ProtoMax int
+
 	listener net.Listener
 	queue    chan Shard
 	results  chan ShardStats
@@ -122,15 +128,27 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 	}()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(message{Kind: kindHello, Proto: ProtocolVersion}); err != nil {
+	cMin, cMax := c.protoRange()
+	// Proto carries the range's floor: a v2-only worker strict-compares it,
+	// so it accepts exactly when v2 is still inside the coordinator's range.
+	if err := enc.Encode(message{Kind: kindHello, Proto: cMin, ProtoMin: cMin, ProtoMax: cMax}); err != nil {
 		return
 	}
 	var hello message
-	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello || hello.Proto != ProtocolVersion {
-		// Mismatched or unversioned worker build: drop the connection
+	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello {
+		// An unversioned (v1) or broken worker build: drop the connection
 		// without handing it work.
 		return
 	}
+	wMin, wMax := helloRange(hello)
+	ver, err := negotiate(cMin, cMax, wMin, wMax)
+	if err != nil {
+		// Disjoint ranges: drop the worker before any shard reaches it. The
+		// worker derives the same verdict from our hello and reports the
+		// ranges on its side.
+		return
+	}
+	sentCard := false
 	for {
 		var shard Shard
 		select {
@@ -142,7 +160,13 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 			_ = enc.Encode(message{Kind: kindDone})
 			return
 		}
-		task := message{Kind: kindTask, ShardID: shard.ID, Cardinalities: c.card}
+		task := message{Kind: kindTask, ShardID: shard.ID}
+		if ver < 3 || !sentCard {
+			// v3 trims repeat tasks: the schema rides only the connection's
+			// first frame and the worker caches it.
+			task.Cardinalities = c.card
+			sentCard = true
+		}
 		task.Rows = make([][]int, 0, len(shard.Objects))
 		for _, i := range shard.Objects {
 			task.Rows = append(task.Rows, c.rows[i])
@@ -163,6 +187,15 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// protoRange resolves the advertised version range (test overrides or the
+// build's defaults).
+func (c *Coordinator) protoRange() (int, int) {
+	if c.ProtoMax != 0 {
+		return c.ProtoMin, c.ProtoMax
+	}
+	return ProtoMin, ProtoMax
 }
 
 func (c *Coordinator) requeue(s Shard) {

@@ -406,3 +406,119 @@ func TestCloseUnblocksStalledHandshake(t *testing.T) {
 		t.Fatal("Close hung on a stalled handshake connection")
 	}
 }
+
+// TestNegotiate pins the range-settlement math: highest common version wins,
+// and disjoint ranges report both by name.
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		aMin, aMax, bMin, bMax int
+		want                   int
+		wantErr                bool
+	}{
+		{2, 3, 2, 2, 2, false}, // legacy v2-only peer vs v2–v3 build
+		{2, 3, 2, 3, 3, false}, // two range builds settle on the top
+		{2, 3, 3, 4, 3, false}, // staggered upgrade: overlap at v3
+		{3, 4, 2, 3, 3, false}, // symmetric
+		{2, 2, 3, 4, 0, true},  // disjoint
+		{4, 5, 2, 3, 0, true},  // disjoint the other way
+	}
+	for _, c := range cases {
+		got, err := negotiate(c.aMin, c.aMax, c.bMin, c.bMax)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("negotiate(%d-%d, %d-%d) = %d, %v; want %d, err=%v", c.aMin, c.aMax, c.bMin, c.bMax, got, err, c.want, c.wantErr)
+		}
+	}
+	if _, err := negotiate(4, 5, 2, 3); err == nil || !strings.Contains(err.Error(), "v4–v5") || !strings.Contains(err.Error(), "v2–v3") {
+		t.Errorf("disjoint error does not name both ranges: %v", err)
+	}
+}
+
+// runNegotiatedJob completes one full job between a coordinator and a worker
+// pinned to the given version ranges, returning the worker error (if any).
+func runNegotiatedJob(t *testing.T, cMin, cMax, wMin, wMax int) error {
+	t.Helper()
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.ProtoMin, coord.ProtoMax = cMin, cMax
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	werr := make(chan error, 1)
+	go func() {
+		_, err := (&Worker{ProtoMin: wMin, ProtoMax: wMax}).Run(addr)
+		werr <- err
+	}()
+	done := make(chan []ShardStats, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case stats := <-done:
+		if len(stats) != len(plan.Shards) {
+			t.Fatalf("collected %d shard stats, want %d", len(stats), len(plan.Shards))
+		}
+		if _, total := MergeStats(stats, card); total != len(rows) {
+			t.Fatalf("merged count = %d, want %d", total, len(rows))
+		}
+		return <-werr
+	case err := <-werr:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not complete")
+		return nil
+	}
+}
+
+// TestVersionNegotiationInterop pins the acceptance criterion: overlapping
+// ranges interoperate across a staggered upgrade. A v2-only worker completes
+// a job under a v2–v3 coordinator (settling on v2, cardinalities on every
+// task), and a v2–v3 pair settles on v3 (cardinalities cached after the
+// first task) — both produce complete, correctly merged statistics.
+func TestVersionNegotiationInterop(t *testing.T) {
+	// v2-only legacy worker × range coordinator → settle on v2.
+	if err := runNegotiatedJob(t, ProtoMin, ProtoMax, 2, 2); err != nil {
+		t.Errorf("v2-only worker under v2–v3 coordinator: %v", err)
+	}
+	// Full-range pair → settle on v3 (first-task-only cardinalities).
+	if err := runNegotiatedJob(t, ProtoMin, ProtoMax, ProtoMin, ProtoMax); err != nil {
+		t.Errorf("v2–v3 pair: %v", err)
+	}
+	// Staggered: coordinator one version ahead, overlap only at v3.
+	if err := runNegotiatedJob(t, 3, 4, ProtoMin, ProtoMax); err != nil {
+		t.Errorf("v3–v4 coordinator with v2–v3 worker: %v", err)
+	}
+}
+
+// TestVersionNegotiationDisjointFailsFast pins the fail-fast path: disjoint
+// ranges produce an immediate worker error naming both ranges, and the
+// coordinator hands that worker no shard.
+func TestVersionNegotiationDisjointFailsFast(t *testing.T) {
+	rows, card, plan := newTestJob(t, 2)
+	coord, err := NewCoordinator(rows, card, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.ProtoMin, coord.ProtoMax = 4, 5
+	addr, err := coord.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	n, err := (&Worker{}).Run(addr) // build range v2–v3: disjoint from v4–v5
+	if err == nil {
+		t.Fatal("disjoint ranges accepted")
+	}
+	if n != 0 {
+		t.Fatalf("disjoint-range worker processed %d shards", n)
+	}
+	for _, want := range []string{"protocol version mismatch", "v4–v5", "v2–v3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}

@@ -12,6 +12,19 @@ type Worker struct {
 	// processing that many shards — used by tests to exercise the
 	// coordinator's failure-recovery path.
 	MaxShards int
+
+	// ProtoMin/ProtoMax override the advertised protocol-version range
+	// (0 → the build's ProtoMin/ProtoMax); tests use them to pin
+	// mixed-fleet handshakes.
+	ProtoMin int
+	ProtoMax int
+}
+
+func (w *Worker) protoRange() (int, int) {
+	if w.ProtoMax != 0 {
+		return w.ProtoMin, w.ProtoMax
+	}
+	return ProtoMin, ProtoMax
 }
 
 // Run connects to the coordinator at addr and processes tasks until the
@@ -24,8 +37,9 @@ func (w *Worker) Run(addr string) (int, error) {
 	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	// Version handshake: the coordinator speaks first; both sides must agree
-	// on ProtocolVersion before any shard moves.
+	// Version handshake: the coordinator speaks first; both sides settle on
+	// the highest version their advertised ranges share before any shard
+	// moves.
 	var hello message
 	if err := dec.Decode(&hello); err != nil {
 		return 0, fmt.Errorf("distsim: handshake: %w", err)
@@ -33,13 +47,19 @@ func (w *Worker) Run(addr string) (int, error) {
 	if hello.Kind != kindHello {
 		return 0, fmt.Errorf("distsim: coordinator opened with frame kind %d, not a version handshake (unversioned v1 build?)", hello.Kind)
 	}
-	if hello.Proto != ProtocolVersion {
-		return 0, fmt.Errorf("distsim: protocol version mismatch: coordinator speaks v%d, this worker speaks v%d — rebuild both sides from the same source", hello.Proto, ProtocolVersion)
+	wMin, wMax := w.protoRange()
+	cMin, cMax := helloRange(hello)
+	ver, err := negotiate(cMin, cMax, wMin, wMax)
+	if err != nil {
+		return 0, fmt.Errorf("distsim: protocol version mismatch: coordinator speaks %s, this worker speaks %s — rebuild one side so the ranges overlap", rangeString(cMin, cMax), rangeString(wMin, wMax))
 	}
-	if err := enc.Encode(message{Kind: kindHello, Proto: ProtocolVersion}); err != nil {
+	// Proto carries the settled version so a v2-only coordinator (which
+	// strict-compares it) accepts exactly when the settlement is v2.
+	if err := enc.Encode(message{Kind: kindHello, Proto: ver, ProtoMin: wMin, ProtoMax: wMax}); err != nil {
 		return 0, fmt.Errorf("distsim: handshake reply: %w", err)
 	}
 	processed := 0
+	var card []int // schema cache; v3 coordinators send it on the first task only
 	for {
 		var task message
 		if err := dec.Decode(&task); err != nil {
@@ -49,7 +69,13 @@ func (w *Worker) Run(addr string) (int, error) {
 		case kindDone:
 			return processed, nil
 		case kindTask:
-			stats := computeStats(task.ShardID, task.Rows, task.Cardinalities)
+			if task.Cardinalities != nil {
+				card = task.Cardinalities
+			}
+			if card == nil {
+				return processed, fmt.Errorf("distsim: v%d task frame arrived before any cardinalities", ver)
+			}
+			stats := computeStats(task.ShardID, task.Rows, card)
 			if err := enc.Encode(message{Kind: kindResult, Stats: stats}); err != nil {
 				return processed, fmt.Errorf("distsim: send result: %w", err)
 			}

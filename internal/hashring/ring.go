@@ -1,0 +1,127 @@
+// Package hashring implements a consistent-hash ring with virtual nodes —
+// the placement primitive behind mcdcd's gateway mode. Keys (session ids,
+// row digests) map to backend nodes such that placement is deterministic
+// (the same ring membership always yields the same owner for a key,
+// regardless of the order nodes were added) and adding or removing one node
+// relocates only the ~1/n slice of the key space adjacent to its virtual
+// points, never reshuffling keys between surviving nodes.
+package hashring
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring. The zero value is not usable; construct
+// with New. Ring is not safe for concurrent mutation; concurrent Get calls
+// are safe as long as no Add/Remove runs (the gateway builds its ring once
+// at startup).
+type Ring struct {
+	replicas int
+	nodes    map[string]struct{}
+	points   []point // sorted by (hash, node)
+}
+
+// point is one virtual node: the hashed position of "<node>#<i>".
+type point struct {
+	hash uint64
+	node string
+}
+
+// New builds an empty ring placing each node at `replicas` virtual points
+// (≤ 0 falls back to 128 — enough that per-node load imbalance stays within
+// a few percent for typical fleet sizes).
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 128
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// Hash is the ring's key hash (FNV-1a, 64-bit, finalized with a
+// splitmix64-style avalanche), exported so tests and diagnostics can
+// reproduce placements. The finalizer matters: raw FNV over short,
+// near-identical strings ("host#1", "host#2", …) leaves the low bits too
+// correlated for an even spread of virtual points around the ring.
+func Hash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Add inserts nodes into the ring. Adding a node that is already present is
+// a no-op, so membership — not call history — determines the ring.
+func (r *Ring) Add(nodes ...string) {
+	changed := false
+	for _, n := range nodes {
+		if _, ok := r.nodes[n]; ok || n == "" {
+			continue
+		}
+		r.nodes[n] = struct{}{}
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, point{hash: Hash(n + "#" + strconv.Itoa(i)), node: n})
+		}
+		changed = true
+	}
+	if changed {
+		// Sorting by (hash, node) makes hash collisions between different
+		// nodes' virtual points resolve deterministically.
+		sort.Slice(r.points, func(i, j int) bool {
+			if r.points[i].hash != r.points[j].hash {
+				return r.points[i].hash < r.points[j].hash
+			}
+			return r.points[i].node < r.points[j].node
+		})
+	}
+}
+
+// Remove deletes a node and its virtual points. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Get returns the node owning key: the first virtual point at or clockwise
+// of the key's hash (wrapping past the top of the space). It returns "" on
+// an empty ring.
+func (r *Ring) Get(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }

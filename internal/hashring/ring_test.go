@@ -1,0 +1,116 @@
+package hashring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestPlacementDeterministicAcrossAddOrder pins the membership-not-history
+// contract: two rings with the same nodes place every key identically no
+// matter the order the nodes were added in.
+func TestPlacementDeterministicAcrossAddOrder(t *testing.T) {
+	a := New(64)
+	a.Add("10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080")
+	b := New(64)
+	b.Add("10.0.0.3:8080")
+	b.Add("10.0.0.1:8080")
+	b.Add("10.0.0.2:8080")
+	b.Add("10.0.0.2:8080") // duplicate add is a no-op
+	for _, k := range keys(5000) {
+		if a.Get(k) != b.Get(k) {
+			t.Fatalf("key %q: %q vs %q (add order changed placement)", k, a.Get(k), b.Get(k))
+		}
+	}
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("memberships differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+}
+
+// TestRebalanceMovesOnlyToNewNode checks the consistent-hashing property:
+// adding a node moves ≈1/n of the keys, all of them onto the new node, and
+// removing it restores the original placement exactly.
+func TestRebalanceMovesOnlyToNewNode(t *testing.T) {
+	r := New(128)
+	r.Add("a", "b", "c")
+	ks := keys(20000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Get(k)
+	}
+
+	r.Add("d")
+	moved := 0
+	for _, k := range ks {
+		got := r.Get(k)
+		if got != before[k] {
+			moved++
+			if got != "d" {
+				t.Fatalf("key %q moved %q → %q, not onto the new node", k, before[k], got)
+			}
+		}
+	}
+	// Expect ≈ 1/4 of the key space; allow generous slack for hash variance.
+	if frac := float64(moved) / float64(len(ks)); frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding 4th node moved %.1f%% of keys, want ≈25%%", 100*frac)
+	}
+
+	r.Remove("d")
+	for _, k := range ks {
+		if r.Get(k) != before[k] {
+			t.Fatalf("key %q did not return to %q after removing d", k, before[k])
+		}
+	}
+}
+
+// TestLoadSpreadsAcrossNodes guards against virtual-point degeneracy: with
+// enough replicas every node owns a non-trivial share of a uniform key set.
+func TestLoadSpreadsAcrossNodes(t *testing.T) {
+	r := New(128)
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r.Add(nodes...)
+	load := make(map[string]int)
+	ks := keys(50000)
+	for _, k := range ks {
+		load[r.Get(k)]++
+	}
+	want := float64(len(ks)) / float64(len(nodes))
+	for _, n := range nodes {
+		if got := float64(load[n]); got < 0.5*want || got > 1.5*want {
+			t.Errorf("node %s owns %d keys, want within ±50%% of %.0f (loads %v)", n, load[n], want, load)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	r := New(0) // default replicas
+	if got := r.Get("anything"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	r.Add("") // empty node name ignored
+	if r.Len() != 0 {
+		t.Fatal("empty node name was added")
+	}
+	r.Add("solo")
+	for _, k := range keys(100) {
+		if r.Get(k) != "solo" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+	r.Remove("ghost") // absent node: no-op
+	r.Remove("solo")
+	if r.Get("x") != "" || r.Len() != 0 {
+		t.Fatal("ring not empty after removing its only node")
+	}
+}

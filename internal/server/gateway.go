@@ -1,0 +1,723 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcdc/internal/hashring"
+)
+
+// Gateway is mcdcd's horizontal-scaling front end: a consistent-hash router
+// over a fleet of backend daemons that all serve the same model snapshots.
+// Placement is deterministic — a session id (and, for stateless traffic, a
+// model+row digest) always lands on the same backend — so stateful streaming
+// sessions live on exactly one backend and the fleet's answers are
+// byte-identical to a single backend serving the same snapshots:
+//
+//	POST /assign        routed by session id, or by model+row key
+//	POST /assign/batch  scattered across backends by row key, gathered in order
+//	POST /sessions      routed by session id (the session lives there)
+//	DELETE /sessions/{id}  routed likewise
+//	POST /models, DELETE /models/{name}, POST /checkpoint  broadcast to all
+//	GET  /models        proxied to the first healthy backend (fleet-identical)
+//	GET  /healthz       aggregated: ok only when every backend is up
+//	GET  /metrics       backend counters summed per series + gateway-local ones
+//	GET  /ring          placement debug: members, health, ?key= lookup
+//
+// The gateway holds no model or session state itself: backends can restart
+// (resuming their sessions from -state-dir) without the gateway noticing
+// beyond failed requests during the gap.
+type Gateway struct {
+	cfg      GatewayConfig
+	backends []string // normalized, deduped, sorted
+	ring     *hashring.Ring
+	// client proxies traffic; probe is a short-timeout client for health
+	// checks — a hung backend must cost /healthz a bounded wait, not the
+	// full proxy timeout.
+	client *http.Client
+	probe  *http.Client
+	mux    *http.ServeMux
+	httpm  *httpMetrics
+	start  time.Time
+	up     map[string]*atomic.Bool // health-check verdict per backend
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// GatewayConfig parameterizes a Gateway.
+type GatewayConfig struct {
+	// Backends are the daemon addresses (host:port) the ring is built over.
+	Backends []string
+	// Replicas is the virtual-node count per backend (≤ 0 → 128).
+	Replicas int
+	// HealthEvery is the per-backend health-check cadence (0 disables the
+	// checker; backends then stay marked up). Health feeds /healthz and
+	// /metrics only — routing stays deterministic, because re-routing a
+	// session away from its backend would abandon its state.
+	HealthEvery time.Duration
+	// Timeout bounds each proxied backend request (0 → 30s).
+	Timeout time.Duration
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// NewGateway builds a gateway over the configured backends and starts its
+// health checker (when configured). Call Close to stop it.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	seen := make(map[string]bool)
+	var backends []string
+	for _, b := range cfg.Backends {
+		b = strings.TrimSpace(b)
+		if b == "" || seen[b] {
+			continue
+		}
+		seen[b] = true
+		backends = append(backends, b)
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("server: gateway needs at least one backend address")
+	}
+	sort.Strings(backends)
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		backends: backends,
+		ring:     hashring.New(cfg.Replicas),
+		client:   &http.Client{Timeout: timeout},
+		probe:    &http.Client{Timeout: 2 * time.Second},
+		mux:      http.NewServeMux(),
+		httpm:    newHTTPMetrics(),
+		start:    time.Now(),
+		up:       make(map[string]*atomic.Bool, len(backends)),
+		stop:     make(chan struct{}),
+	}
+	g.ring.Add(backends...)
+	for _, b := range backends {
+		up := &atomic.Bool{}
+		up.Store(true)
+		g.up[b] = up
+	}
+	g.routes()
+	if cfg.HealthEvery > 0 {
+		g.wg.Add(1)
+		go g.healthLoop()
+	}
+	return g, nil
+}
+
+// Close stops the health checker and waits for it.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Backends returns the (sorted) backend membership.
+func (g *Gateway) Backends() []string { return append([]string(nil), g.backends...) }
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+func (g *Gateway) routes() {
+	handle := func(pattern string, fn http.HandlerFunc) {
+		g.mux.HandleFunc(pattern, g.httpm.instrument(pattern, fn))
+	}
+	handle("GET /healthz", g.handleHealthz)
+	handle("GET /metrics", g.handleMetrics)
+	handle("GET /ring", g.handleRing)
+	handle("GET /models", g.handleListModels)
+	handle("POST /models", g.handleBroadcastModels)
+	handle("DELETE /models/{name}", g.handleDeleteModel)
+	handle("POST /assign", g.handleAssign)
+	handle("POST /assign/batch", g.handleAssignBatch)
+	handle("POST /sessions", g.handleCreateSession)
+	handle("DELETE /sessions/{id}", g.handleDeleteSession)
+	handle("POST /checkpoint", g.handleCheckpoint)
+}
+
+// ---- key derivation ----
+
+// sessionKey is the ring key of a streaming session. All session traffic —
+// create, assign, delete — derives the same key, so a session's whole life
+// happens on one backend.
+func sessionKey(id string) string { return "s|" + id }
+
+// rowKey is the ring key of one stateless assignment: model plus the exact
+// row values. Identical queries always hit the same backend (warming that
+// backend's traffic window coherently); the spread across backends comes
+// from row diversity.
+func rowKey(model string, row []int) string {
+	var b strings.Builder
+	b.Grow(len(model) + 2 + len(row)*3)
+	b.WriteString("r|")
+	b.WriteString(model)
+	for _, v := range row {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// ---- proxying ----
+
+// do performs one backend request and returns the response status, body, and
+// content type.
+func (g *Gateway) do(method, backend, path string, body []byte) (status int, data []byte, ctype string, err error) {
+	return g.doWith(g.client, method, backend, path, body)
+}
+
+func (g *Gateway) doWith(client *http.Client, method, backend, path string, body []byte) (status int, data []byte, ctype string, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, "http://"+backend+path, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	return resp.StatusCode, data, resp.Header.Get("Content-Type"), nil
+}
+
+// forward proxies one request to a backend and relays status, content type,
+// and body bytes verbatim — the routed single-backend paths answer
+// byte-identically to hitting that backend directly.
+func (g *Gateway) forward(w http.ResponseWriter, method, backend, path string, body []byte) {
+	status, data, ctype, err := g.do(method, backend, path, body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "backend %s: %v", backend, err)
+		return
+	}
+	if ctype != "" {
+		w.Header().Set("Content-Type", ctype)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// readBody slurps a request body (bounded), reporting decode-style errors
+// the same way the backend would.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+// ---- routed endpoints ----
+
+func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req assignRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var key string
+	switch {
+	case req.Session != "":
+		key = sessionKey(req.Session)
+	case req.Model != "":
+		key = rowKey(req.Model, req.Row)
+	default:
+		writeError(w, http.StatusBadRequest, "request names neither a model nor a session")
+		return
+	}
+	g.forward(w, http.MethodPost, g.ring.Get(key), "/assign", raw)
+}
+
+func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req sessionRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// An empty session id routes like any other key; the owning backend's
+	// validation rejects it with the same error a direct client would see.
+	g.forward(w, http.MethodPost, g.ring.Get(sessionKey(req.Session)), "/sessions", raw)
+}
+
+func (g *Gateway) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.forward(w, http.MethodDelete, g.ring.Get(sessionKey(id)), "/sessions/"+id, nil)
+}
+
+// handleAssignBatch scatters a batch across the fleet by row key and gathers
+// the sub-responses back into the original row order. The merged response is
+// rebuilt through the same writeJSON/struct path a backend uses, so a fleet
+// answer is byte-identical to a single backend's as long as the backends
+// serve the same snapshot epoch.
+func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Group row indices by owning backend.
+	groups := make(map[string][]int)
+	for i, row := range req.Rows {
+		b := g.ring.Get(rowKey(req.Model, row))
+		groups[b] = append(groups[b], i)
+	}
+	if len(groups) == 1 {
+		for b := range groups {
+			g.forward(w, http.MethodPost, b, "/assign/batch", raw)
+			return
+		}
+	}
+	// Deterministic error precedence: scatter in sorted-backend order.
+	order := make([]string, 0, len(groups))
+	for b := range groups {
+		order = append(order, b)
+	}
+	sort.Strings(order)
+
+	type result struct {
+		status int
+		data   []byte
+		err    error
+		resp   batchResponse
+	}
+	results := make(map[string]*result, len(order))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, b := range order {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			sub := batchRequest{Model: req.Model, Rows: make([][]int, 0, len(groups[b]))}
+			for _, i := range groups[b] {
+				sub.Rows = append(sub.Rows, req.Rows[i])
+			}
+			body, err := json.Marshal(sub)
+			res := &result{err: err}
+			if err == nil {
+				res.status, res.data, _, res.err = g.do(http.MethodPost, b, "/assign/batch", body)
+			}
+			if res.err == nil && res.status == http.StatusOK {
+				res.err = json.Unmarshal(res.data, &res.resp)
+			}
+			mu.Lock()
+			results[b] = res
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+
+	merged := batchResponse{Model: req.Model, Assignments: make([]assignResponse, len(req.Rows))}
+	for _, b := range order {
+		res := results[b]
+		if res.err != nil {
+			writeError(w, http.StatusBadGateway, "backend %s: %v", b, res.err)
+			return
+		}
+		if res.status != http.StatusOK {
+			// Relay the first failing backend's verdict (sorted order keeps
+			// the precedence deterministic).
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			_, _ = w.Write(res.data)
+			return
+		}
+		if len(res.resp.Assignments) != len(groups[b]) {
+			writeError(w, http.StatusBadGateway, "backend %s returned %d assignments for %d rows", b, len(res.resp.Assignments), len(groups[b]))
+			return
+		}
+		for j, i := range groups[b] {
+			merged.Assignments[i] = res.resp.Assignments[j]
+		}
+	}
+	// The epoch of the backend that served row 0 (all backends agree when the
+	// fleet serves one snapshot version, the deployment contract).
+	merged.Epoch = merged.Assignments[0].Epoch
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// ---- broadcast endpoints ----
+
+// broadcast sends the same request to every backend in sorted order and
+// returns the per-backend outcomes.
+func (g *Gateway) broadcast(method, path string, body []byte) (statuses []int, bodies [][]byte, errs []error) {
+	statuses = make([]int, len(g.backends))
+	bodies = make([][]byte, len(g.backends))
+	errs = make([]error, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			statuses[i], bodies[i], _, errs[i] = g.do(method, b, path, body)
+		}(i, b)
+	}
+	wg.Wait()
+	return statuses, bodies, errs
+}
+
+// relayBroadcast writes the aggregate outcome of a fleet-wide operation: the
+// first backend's response when every backend succeeded, 502 naming the
+// failures otherwise. Operations routed through here are idempotent
+// (loading a snapshot, deleting a model, checkpointing), so a partial
+// failure is safely retried.
+func (g *Gateway) relayBroadcast(w http.ResponseWriter, statuses []int, bodies [][]byte, errs []error) {
+	var failures []string
+	for i, b := range g.backends {
+		switch {
+		case errs[i] != nil:
+			failures = append(failures, fmt.Sprintf("%s: %v", b, errs[i]))
+		case statuses[i] >= http.StatusBadRequest:
+			failures = append(failures, fmt.Sprintf("%s: status %d: %s", b, statuses[i], strings.TrimSpace(string(bodies[i]))))
+		}
+	}
+	if len(failures) > 0 {
+		writeError(w, http.StatusBadGateway, "%d/%d backends failed: %s", len(failures), len(g.backends), strings.Join(failures, "; "))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statuses[0])
+	_, _ = w.Write(bodies[0])
+}
+
+func (g *Gateway) handleBroadcastModels(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	statuses, bodies, errs := g.broadcast(http.MethodPost, "/models", raw)
+	g.relayBroadcast(w, statuses, bodies, errs)
+}
+
+func (g *Gateway) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	statuses, bodies, errs := g.broadcast(http.MethodDelete, "/models/"+r.PathValue("name"), nil)
+	g.relayBroadcast(w, statuses, bodies, errs)
+}
+
+func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	statuses, bodies, errs := g.broadcast(http.MethodPost, "/checkpoint", nil)
+	g.relayBroadcast(w, statuses, bodies, errs)
+}
+
+func (g *Gateway) handleListModels(w http.ResponseWriter, r *http.Request) {
+	// Fleet-identical state: any healthy backend answers for all.
+	for _, b := range g.backends {
+		if g.up[b].Load() {
+			g.forward(w, http.MethodGet, b, "/models", nil)
+			return
+		}
+	}
+	g.forward(w, http.MethodGet, g.backends[0], "/models", nil)
+}
+
+// ---- health and metrics ----
+
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.HealthEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			// Probes fan out concurrently so one hung backend cannot slip
+			// the whole fleet's cadence past -health.
+			var wg sync.WaitGroup
+			for _, b := range g.backends {
+				wg.Add(1)
+				go func(b string) {
+					defer wg.Done()
+					status, _, _, err := g.doWith(g.probe, http.MethodGet, b, "/healthz", nil)
+					healthy := err == nil && status == http.StatusOK
+					if was := g.up[b].Swap(healthy); was != healthy {
+						if healthy {
+							g.logf("backend %s recovered", b)
+						} else {
+							g.logf("backend %s went down: status=%d err=%v", b, status, err)
+						}
+					}
+				}(b)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type backendHealth struct {
+		Up       bool           `json:"up"`
+		Models   map[string]int `json:"models,omitempty"`
+		Sessions int            `json:"sessions"`
+	}
+	type gwHealth struct {
+		Status        string                   `json:"status"`
+		UptimeSeconds float64                  `json:"uptime_seconds"`
+		Backends      map[string]backendHealth `json:"backends"`
+		Sessions      int                      `json:"sessions"`
+	}
+	h := gwHealth{Status: "ok", UptimeSeconds: time.Since(g.start).Seconds(), Backends: make(map[string]backendHealth)}
+	// Live probes, concurrent and short-timeout: the slowest backend (not
+	// the sum of all of them) bounds the response, and a hung one costs the
+	// probe timeout, not the proxy timeout.
+	probed := make([]backendHealth, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			status, data, _, err := g.doWith(g.probe, http.MethodGet, b, "/healthz", nil)
+			if err == nil && status == http.StatusOK {
+				probed[i].Up = true
+				var inner struct {
+					Models   map[string]int `json:"models"`
+					Sessions int            `json:"sessions"`
+				}
+				if json.Unmarshal(data, &inner) == nil {
+					probed[i].Models = inner.Models
+					probed[i].Sessions = inner.Sessions
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for i, b := range g.backends {
+		bh := probed[i]
+		g.up[b].Store(bh.Up)
+		h.Backends[b] = bh
+		h.Sessions += bh.Sessions
+		if !bh.Up {
+			h.Status = "degraded"
+		}
+	}
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (g *Gateway) handleRing(w http.ResponseWriter, r *http.Request) {
+	type ringInfo struct {
+		Backends []string        `json:"backends"`
+		Up       map[string]bool `json:"up"`
+		Key      string          `json:"key,omitempty"`
+		Session  string          `json:"session,omitempty"`
+		Backend  string          `json:"backend,omitempty"`
+	}
+	info := ringInfo{Backends: g.Backends(), Up: make(map[string]bool, len(g.backends))}
+	for _, b := range g.backends {
+		info.Up[b] = g.up[b].Load()
+	}
+	// ?session=<id> answers "which backend owns this session"; ?key=<k>
+	// places a raw ring key.
+	if id := r.URL.Query().Get("session"); id != "" {
+		info.Session = id
+		info.Backend = g.ring.Get(sessionKey(id))
+	} else if key := r.URL.Query().Get("key"); key != "" {
+		info.Key = key
+		info.Backend = g.ring.Get(key)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleMetrics sums every backend's Prometheus series and appends the
+// gateway's own counters, so one scrape sees fleet-wide traffic.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, bodies, errs := g.broadcast(http.MethodGet, "/metrics", nil)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	reachable := make([][]byte, 0, len(bodies))
+	for i := range bodies {
+		if errs[i] == nil {
+			reachable = append(reachable, bodies[i])
+		}
+	}
+	_, _ = w.Write(aggregateMetrics(reachable))
+	fmt.Fprintf(w, "# HELP mcdcd_gateway_backend_up Last health verdict per backend (1 = up).\n# TYPE mcdcd_gateway_backend_up gauge\n")
+	for i, b := range g.backends {
+		v := 0
+		if g.up[b].Load() && errs[i] == nil {
+			v = 1
+		}
+		fmt.Fprintf(w, "mcdcd_gateway_backend_up{backend=%q} %d\n", b, v)
+	}
+	g.httpm.write(w, "mcdcd_gateway_http_requests_total", "mcdcd_gateway_http_errors_total")
+	fmt.Fprintf(w, "# HELP mcdcd_gateway_uptime_seconds Gateway uptime.\n# TYPE mcdcd_gateway_uptime_seconds gauge\nmcdcd_gateway_uptime_seconds %g\n", time.Since(g.start).Seconds())
+}
+
+// maxAggregated lists the metric families whose per-backend values describe
+// the same fleet-wide fact rather than additive shares of it: every backend
+// serves the same snapshot, so its epoch is the fleet's epoch, and summing
+// uptimes fabricates a number no process ever had. These take the max across
+// backends; everything else — counters and additive gauges like live session
+// counts — sums.
+var maxAggregated = map[string]bool{
+	"mcdcd_model_epoch":    true,
+	"mcdcd_uptime_seconds": true,
+}
+
+// aggregateMetrics merges Prometheus text expositions series-by-series:
+// sample lines with the same name+labels sum (or max, per maxAggregated),
+// HELP/TYPE headers are kept once (from the first backend exposing them),
+// and series order follows first appearance. Histogram-free exposition
+// (counters, gauges, summaries without quantiles — everything mcdcd emits)
+// aggregates correctly this way.
+func aggregateMetrics(bodies [][]byte) []byte {
+	type family struct {
+		meta []string // HELP/TYPE lines, first exposure wins
+	}
+	var familyOrder []string
+	families := make(map[string]*family)
+	var seriesOrder []string
+	sums := make(map[string]float64)
+	ints := make(map[string]bool)
+	seriesFamily := make(map[string]string)
+
+	metricName := func(series string) string {
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			return series[:i]
+		}
+		return series
+	}
+	for _, body := range bodies {
+		for _, line := range strings.Split(string(body), "\n") {
+			line = strings.TrimRight(line, "\r")
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.Fields(line)
+				if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+					continue
+				}
+				name := fields[2]
+				f, ok := families[name]
+				if !ok {
+					f = &family{}
+					families[name] = f
+					familyOrder = append(familyOrder, name)
+				}
+				if len(f.meta) < 2 { // first backend's HELP+TYPE only
+					dup := false
+					for _, m := range f.meta {
+						if strings.HasPrefix(m, "# "+fields[1]+" ") {
+							dup = true
+						}
+					}
+					if !dup {
+						f.meta = append(f.meta, line)
+					}
+				}
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				continue
+			}
+			series, valStr := line[:sp], line[sp+1:]
+			val, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				continue
+			}
+			first := false
+			if _, ok := sums[series]; !ok {
+				first = true
+				seriesOrder = append(seriesOrder, series)
+				ints[series] = true
+				seriesFamily[series] = metricName(series)
+			}
+			// A series stays integer-formatted only while every
+			// contribution is an integer.
+			if strings.Contains(valStr, ".") || strings.ContainsAny(valStr, "eE") {
+				ints[series] = false
+			}
+			if maxAggregated[seriesFamily[series]] {
+				if first || val > sums[series] {
+					sums[series] = val
+				}
+			} else {
+				sums[series] += val
+			}
+		}
+	}
+	// A summary family's samples carry _sum/_count suffixes while its
+	// HELP/TYPE lines are registered under the base name — resolve through
+	// the suffix so the metadata survives aggregation.
+	metaFamily := func(fam string) string {
+		if _, ok := families[fam]; ok {
+			return fam
+		}
+		for _, suffix := range []string{"_sum", "_count"} {
+			if base := strings.TrimSuffix(fam, suffix); base != fam {
+				if _, ok := families[base]; ok {
+					return base
+				}
+			}
+		}
+		return fam
+	}
+	var out bytes.Buffer
+	emittedMeta := make(map[string]bool)
+	for _, series := range seriesOrder {
+		fam := metaFamily(seriesFamily[series])
+		if !emittedMeta[fam] {
+			emittedMeta[fam] = true
+			if f, ok := families[fam]; ok {
+				for _, m := range f.meta {
+					out.WriteString(m)
+					out.WriteByte('\n')
+				}
+			}
+		}
+		if ints[series] {
+			fmt.Fprintf(&out, "%s %d\n", series, int64(sums[series]))
+		} else {
+			fmt.Fprintf(&out, "%s %g\n", series, sums[series])
+		}
+	}
+	return out.Bytes()
+}

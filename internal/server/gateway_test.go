@@ -1,0 +1,301 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gatewayFleet boots n backend daemons serving the same snapshot plus a
+// gateway over them, returning the gateway test server, the backends, and
+// their test servers.
+func gatewayFleet(t *testing.T, n int, cfg Config) (*Gateway, *httptest.Server, []*Server, []*httptest.Server) {
+	t.Helper()
+	backends := make([]*Server, n)
+	tss := make([]*httptest.Server, n)
+	addrs := make([]string, n)
+	for i := range backends {
+		backends[i], tss[i] = newTestServer(t, cfg)
+		addrs[i] = strings.TrimPrefix(tss[i].URL, "http://")
+	}
+	gw, err := NewGateway(GatewayConfig{Backends: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(func() { gts.Close(); gw.Close() })
+	return gw, gts, backends, tss
+}
+
+// TestGatewayByteIdenticalToSingleBackend pins the tentpole acceptance
+// criterion: a 2-backend gateway answers /assign and /assign/batch with the
+// exact bytes a single backend produces for the same requests.
+func TestGatewayByteIdenticalToSingleBackend(t *testing.T) {
+	snap, rows, _ := trainModel(t, 300, 8, 3, 51)
+	_, gts, backends, _ := gatewayFleet(t, 2, Config{})
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, soloTS := newTestServer(t, Config{})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single assignments: routed by row key, answered verbatim.
+	for i, row := range rows[:60] {
+		body := map[string]any{"model": "m", "row": row}
+		gresp, gdata := post(t, gts.URL+"/assign", body)
+		sresp, sdata := post(t, soloTS.URL+"/assign", body)
+		if gresp.StatusCode != http.StatusOK || sresp.StatusCode != http.StatusOK {
+			t.Fatalf("row %d: gateway %d, solo %d (%s | %s)", i, gresp.StatusCode, sresp.StatusCode, gdata, sdata)
+		}
+		if string(gdata) != string(sdata) {
+			t.Fatalf("row %d: gateway %q != solo %q", i, gdata, sdata)
+		}
+	}
+
+	// Batch: scattered by row key across both backends, gathered in order.
+	body := map[string]any{"model": "m", "rows": rows}
+	gresp, gdata := post(t, gts.URL+"/assign/batch", body)
+	sresp, sdata := post(t, soloTS.URL+"/assign/batch", body)
+	if gresp.StatusCode != http.StatusOK || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: gateway %d, solo %d", gresp.StatusCode, sresp.StatusCode)
+	}
+	if string(gdata) != string(sdata) {
+		t.Fatal("gateway batch response is not byte-identical to the single backend")
+	}
+	// The scatter really used both backends (row diversity guarantees it at
+	// this size — otherwise the test silently degrades to a proxy check).
+	spread := 0
+	for _, b := range backends {
+		sm, ok := b.registry.get("m")
+		if ok && sm.buf.len() > 0 {
+			spread++
+		}
+	}
+	if spread != 2 {
+		t.Fatalf("batch traffic reached %d/2 backends", spread)
+	}
+}
+
+// TestGatewaySessionLifecycleAndPlacement drives a session's whole life
+// through the gateway and checks it lives on exactly the backend /ring
+// predicts, with responses byte-identical to a solo daemon fed the same
+// stream.
+func TestGatewaySessionLifecycleAndPlacement(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 53)
+	_, gts, backends, tss := gatewayFleet(t, 2, Config{})
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, soloTS := newTestServer(t, Config{})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	createSession(t, gts.URL, "sess-1", 40, 17)
+	createSession(t, soloTS.URL, "sess-1", 40, 17)
+	gtail := feedSession(t, gts.URL, "sess-1", rows, 0, 100)
+	stail := feedSession(t, soloTS.URL, "sess-1", rows, 0, 100)
+	for i := range gtail {
+		if gtail[i] != stail[i] {
+			t.Fatalf("session arrival %d: gateway %q != solo %q", i, gtail[i], stail[i])
+		}
+	}
+
+	// /ring names the owner; the session must be resident there and only
+	// there.
+	_, data := get(t, gts.URL+"/ring?session=sess-1")
+	var ring struct {
+		Backend  string   `json:"backend"`
+		Backends []string `json:"backends"`
+	}
+	if err := json.Unmarshal(data, &ring); err != nil {
+		t.Fatal(err)
+	}
+	if len(ring.Backends) != 2 || ring.Backend == "" {
+		t.Fatalf("ring info: %s", data)
+	}
+	owner := ring.Backend
+	for i, ts := range tss {
+		addr := strings.TrimPrefix(ts.URL, "http://")
+		want := 0
+		if addr == owner {
+			want = 1
+		}
+		if got := backends[i].sessions.count(); got != want {
+			t.Errorf("backend %s holds %d sessions, want %d", addr, got, want)
+		}
+	}
+
+	// Duplicate create through the gateway conflicts like a direct one.
+	resp, _ := post(t, gts.URL+"/sessions", map[string]any{"session": "sess-1", "model": "m"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create through gateway: %d", resp.StatusCode)
+	}
+	// Delete routes to the owner.
+	req, _ := http.NewRequest(http.MethodDelete, gts.URL+"/sessions/sess-1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete through gateway: %d", dresp.StatusCode)
+	}
+	for i := range backends {
+		if got := backends[i].sessions.count(); got != 0 {
+			t.Errorf("backend %d still holds %d sessions after delete", i, got)
+		}
+	}
+}
+
+// TestGatewayBroadcastAndAggregation covers the fleet-wide endpoints:
+// POST /models reaches every backend (201 on first load), /healthz reports
+// per-backend state, and /metrics sums the fleet's counters.
+func TestGatewayBroadcastAndAggregation(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 57)
+	_, gts, backends, tss := gatewayFleet(t, 2, Config{})
+	path := t.TempDir() + "/m.bin"
+	if err := snap.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	resp, data := post(t, gts.URL+"/models", map[string]string{"name": "m", "path": path})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("broadcast load: %d %s", resp.StatusCode, data)
+	}
+	for i, b := range backends {
+		if _, ok := b.registry.get("m"); !ok {
+			t.Fatalf("backend %d did not receive the broadcast model", i)
+		}
+	}
+
+	// Traffic through the gateway lands on both backends; the aggregated
+	// counter equals the sum.
+	for _, row := range rows[:40] {
+		resp, data := post(t, gts.URL+"/assign", map[string]any{"model": "m", "row": row})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assign: %d %s", resp.StatusCode, data)
+		}
+	}
+	var want int64
+	for _, b := range backends {
+		want += b.metrics.assignTotal.Load()
+	}
+	if want != 40 {
+		t.Fatalf("backends served %d assigns in total, want 40", want)
+	}
+	_, mdata := get(t, gts.URL+"/metrics")
+	if !strings.Contains(string(mdata), fmt.Sprintf("mcdcd_assign_total %d", want)) {
+		t.Errorf("aggregated metrics missing summed mcdcd_assign_total %d:\n%s", want, mdata)
+	}
+	if !strings.Contains(string(mdata), `mcdcd_gateway_backend_up{backend=`) {
+		t.Error("gateway metrics missing per-backend up gauge")
+	}
+	if !strings.Contains(string(mdata), `mcdcd_gateway_http_requests_total{endpoint="POST /assign"} 40`) {
+		t.Error("gateway metrics missing per-endpoint request counter")
+	}
+
+	// Healthz: all up → ok; one backend down → degraded + 503, and the
+	// routed traffic for that backend fails with 502 while the other half
+	// keeps serving.
+	hresp, hdata := get(t, gts.URL+"/healthz")
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hdata), `"status":"ok"`) {
+		t.Fatalf("healthz all-up: %d %s", hresp.StatusCode, hdata)
+	}
+	tss[1].Close()
+	hresp, hdata = get(t, gts.URL+"/healthz")
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hdata), `"status":"degraded"`) {
+		t.Fatalf("healthz with a dead backend: %d %s", hresp.StatusCode, hdata)
+	}
+	ok502, ok200 := 0, 0
+	for _, row := range rows[:40] {
+		resp, _ := post(t, gts.URL+"/assign", map[string]any{"model": "m", "row": row})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok200++
+		case http.StatusBadGateway:
+			ok502++
+		default:
+			t.Fatalf("assign with dead backend: %d", resp.StatusCode)
+		}
+	}
+	if ok200 == 0 || ok502 == 0 {
+		t.Fatalf("dead-backend split: %d ok / %d 502 — want both non-zero (deterministic routing, no failover)", ok200, ok502)
+	}
+}
+
+// TestGatewayHealthLoopFlipsUpState exercises the background checker: a
+// backend that dies is marked down within a few probe periods.
+func TestGatewayHealthLoopFlipsUpState(t *testing.T) {
+	_, ts1 := newTestServer(t, Config{})
+	addr := strings.TrimPrefix(ts1.URL, "http://")
+	gw, err := NewGateway(GatewayConfig{Backends: []string{addr}, HealthEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for !gw.up[addr].Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("live backend never marked up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	for gw.up[addr].Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("dead backend never marked down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGatewayRejectsEmptyBackendList(t *testing.T) {
+	if _, err := NewGateway(GatewayConfig{Backends: []string{" ", ""}}); err == nil {
+		t.Fatal("gateway accepted an empty backend list")
+	}
+}
+
+// TestAggregateMetrics pins the series-summing rules on a crafted pair of
+// expositions: counters sum, labels separate series, HELP/TYPE survive once,
+// float formatting is preserved.
+func TestAggregateMetrics(t *testing.T) {
+	a := "# HELP x_total Things.\n# TYPE x_total counter\nx_total 3\n" +
+		"x_by{k=\"a\"} 1\n" +
+		"# HELP lat_seconds Latency.\n# TYPE lat_seconds summary\nlat_seconds_sum 0.5\nlat_seconds_count 2\n" +
+		"mcdcd_model_epoch{model=\"m\"} 2\nmcdcd_uptime_seconds 100.5\n"
+	b := "# HELP x_total Things.\n# TYPE x_total counter\nx_total 4\n" +
+		"x_by{k=\"b\"} 2\nlat_seconds_sum 0.25\nlat_seconds_count 1\n" +
+		"mcdcd_model_epoch{model=\"m\"} 2\nmcdcd_uptime_seconds 40.25\n"
+	out := string(aggregateMetrics([][]byte{[]byte(a), []byte(b)}))
+	for _, want := range []string{
+		"x_total 7\n",
+		`x_by{k="a"} 1`,
+		`x_by{k="b"} 2`,
+		"lat_seconds_sum 0.75\n",
+		"lat_seconds_count 3\n",
+		// Summary metadata is registered under the base family name but the
+		// samples carry _sum/_count suffixes; it must survive aggregation.
+		"# TYPE lat_seconds summary",
+		"# HELP x_total Things.",
+		// Fleet-identical gauges take the max, not a fabricated sum.
+		`mcdcd_model_epoch{model="m"} 2` + "\n",
+		"mcdcd_uptime_seconds 100.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# HELP x_total") != 1 {
+		t.Errorf("HELP duplicated:\n%s", out)
+	}
+}

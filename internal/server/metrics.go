@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sync/atomic"
 	"time"
 )
@@ -16,11 +17,95 @@ type metrics struct {
 	latencyNanos atomic.Int64 // cumulative assignment handler latency
 	latencyCount atomic.Int64
 	relearns     atomic.Int64 // background model swaps
+	http         *httpMetrics // per-endpoint request/error counters
 }
 
 func (m *metrics) observe(d time.Duration) {
 	m.latencyNanos.Add(int64(d))
 	m.latencyCount.Add(1)
+}
+
+// httpMetrics counts requests and error responses per registered route, so
+// /metrics reflects every endpoint's traffic — not only the assign path.
+// Routes register once at mux construction; after that the map is read-only
+// and the counters are atomics, so recording stays lock-free.
+type httpMetrics struct {
+	order  []string
+	routes map[string]*routeCounter
+}
+
+type routeCounter struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status ≥ 400
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{routes: make(map[string]*routeCounter)}
+}
+
+// route registers (or returns) the counter pair for a mux pattern.
+func (h *httpMetrics) route(pattern string) *routeCounter {
+	if rc, ok := h.routes[pattern]; ok {
+		return rc
+	}
+	rc := &routeCounter{}
+	h.routes[pattern] = rc
+	h.order = append(h.order, pattern)
+	return rc
+}
+
+// instrument wraps a handler so the route's request/error counters track it.
+func (h *httpMetrics) instrument(pattern string, fn http.HandlerFunc) http.HandlerFunc {
+	rc := h.route(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rc.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		fn(sw, r)
+		if sw.status() >= http.StatusBadRequest {
+			rc.errors.Add(1)
+		}
+	}
+}
+
+// write emits the per-endpoint counters under the given metric names.
+func (h *httpMetrics) write(w io.Writer, reqName, errName string) {
+	fmt.Fprintf(w, "# HELP %s HTTP requests received, by endpoint.\n# TYPE %s counter\n", reqName, reqName)
+	for _, pat := range h.order {
+		fmt.Fprintf(w, "%s{endpoint=%q} %d\n", reqName, pat, h.routes[pat].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP %s HTTP error responses (status >= 400), by endpoint.\n# TYPE %s counter\n", errName, errName)
+	for _, pat := range h.order {
+		fmt.Fprintf(w, "%s{endpoint=%q} %d\n", errName, pat, h.routes[pat].errors.Load())
+	}
+}
+
+// statusWriter records the response status for the error counters. A handler
+// that writes a body without an explicit WriteHeader implies 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code, sw.wrote = code, true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.code, sw.wrote = http.StatusOK, true
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) status() int {
+	if !sw.wrote {
+		return http.StatusOK
+	}
+	return sw.code
 }
 
 // write emits the counters in Prometheus text exposition format, together
@@ -34,6 +119,9 @@ func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, uptime ti
 	counter("mcdcd_assign_errors_total", "Assignment requests rejected.", m.assignErrors.Load())
 	counter("mcdcd_relearn_total", "Background re-learn model swaps.", m.relearns.Load())
 	counter("mcdcd_session_drift_total", "Session assignments below the drift similarity threshold.", pool.lowSimTotal())
+	counter("mcdcd_sessions_evicted_total", "Streaming sessions evicted by the idle TTL sweeper.", pool.evicted.Load())
+	counter("mcdcd_sessions_restored_total", "Streaming sessions paged in from checkpoints.", pool.restored.Load())
+	counter("mcdcd_session_checkpoints_total", "Session checkpoint files written.", pool.checkpoints.Load())
 
 	fmt.Fprintf(w, "# HELP mcdcd_assign_latency_seconds_sum Cumulative assignment handler latency.\n")
 	fmt.Fprintf(w, "# TYPE mcdcd_assign_latency_seconds summary\n")
@@ -53,6 +141,8 @@ func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, uptime ti
 	for _, sm := range models {
 		fmt.Fprintf(w, "mcdcd_model_relearn_total{model=%q} %d\n", sm.name, sm.relearns.Load())
 	}
+
+	m.http.write(w, "mcdcd_http_requests_total", "mcdcd_http_errors_total")
 
 	fmt.Fprintf(w, "# HELP mcdcd_sessions Live streaming sessions.\n# TYPE mcdcd_sessions gauge\nmcdcd_sessions %d\n", pool.count())
 	fmt.Fprintf(w, "# HELP mcdcd_uptime_seconds Daemon uptime.\n# TYPE mcdcd_uptime_seconds gauge\nmcdcd_uptime_seconds %g\n", uptime.Seconds())

@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -58,6 +60,24 @@ type Config struct {
 	// DefaultSessionWindow is the window size of new sessions when the
 	// request does not set one (0 falls through to the stream default).
 	DefaultSessionWindow int
+	// StateDir enables session durability: every streaming session
+	// checkpoints to <StateDir>/sessions/<id>.ckpt (on the CheckpointEvery
+	// cadence, on idle eviction, on POST /checkpoint, and on Close), and a
+	// restart resumes every checkpointed session bit-for-bit. Empty disables
+	// durability.
+	StateDir string
+	// CheckpointEvery is the periodic session-checkpoint interval when
+	// StateDir is set (0 = checkpoint only on demand, eviction, and
+	// shutdown). Each checkpoint rotates the session's random stream (see
+	// stream.Clusterer.Snapshot), which never perturbs the live session's
+	// subsequent output relative to a restore of that checkpoint.
+	CheckpointEvery time.Duration
+	// SessionTTL evicts streaming sessions idle longer than this (0 = never).
+	// With StateDir the eviction spills the session to disk and the next
+	// touch pages it back in; without, eviction is deletion. Either way the
+	// pool's memory stays bounded by the working set instead of the create
+	// history.
+	SessionTTL time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -80,42 +100,118 @@ type Server struct {
 	// snapshot in memory.
 	assigners sync.Pool
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	stopOnce  sync.Once
+	flushOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
 }
 
-// New builds a daemon core and starts its background re-learn worker (when
-// configured). Call Close to stop it.
-func New(cfg Config) *Server {
+// New builds a daemon core, restores checkpointed sessions when StateDir is
+// set, and starts the background workers (re-learn, periodic checkpoint,
+// TTL sweep) that are configured. Call Close to stop them; with StateDir it
+// also flushes a final checkpoint of every session.
+func New(cfg Config) (*Server, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
 	if cfg.RelearnMin <= 0 {
 		cfg.RelearnMin = 64
 	}
+	sessionsDir := ""
+	if cfg.StateDir != "" {
+		sessionsDir = filepath.Join(cfg.StateDir, "sessions")
+		if err := os.MkdirAll(sessionsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: state dir: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		start:    time.Now(),
 		registry: newRegistry(),
-		sessions: newSessionPool(cfg.SessionShards),
-		metrics:  &metrics{},
+		metrics:  &metrics{http: newHTTPMetrics()},
 		mux:      http.NewServeMux(),
 		stop:     make(chan struct{}),
 	}
+	s.sessions = newSessionPool(cfg.SessionShards, sessionsDir, s.logf)
 	s.assigners.New = func() any { return &model.Assigner{} }
 	s.routes()
+	if n := s.sessions.restoreAll(); n > 0 {
+		s.logf("restored %d streaming session(s) from %s", n, sessionsDir)
+	}
 	if cfg.RelearnEvery > 0 {
 		s.wg.Add(1)
 		go s.relearnLoop()
 	}
-	return s
+	if cfg.StateDir != "" && cfg.CheckpointEvery > 0 {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+	if cfg.SessionTTL > 0 {
+		s.wg.Add(1)
+		go s.sweepLoop()
+	}
+	return s, nil
 }
 
-// Close stops the background worker and waits for it.
+// Close stops the background workers, waits for them, and — when running
+// with a state directory — flushes a final checkpoint of every session so a
+// graceful shutdown loses nothing.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	s.flushOnce.Do(func() {
+		if n := s.sessions.checkpointAll(); n > 0 {
+			s.logf("flushed %d session checkpoint(s) on shutdown", n)
+		}
+	})
+}
+
+// CheckpointSessions writes a checkpoint of every live session and returns
+// how many were written (0 without a StateDir).
+func (s *Server) CheckpointSessions() int { return s.sessions.checkpointAll() }
+
+// SweepSessions evicts sessions idle longer than ttl (see Config.SessionTTL)
+// and returns how many were evicted.
+func (s *Server) SweepSessions(ttl time.Duration) int { return s.sessions.sweep(ttl) }
+
+// checkpointLoop periodically flushes session checkpoints.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.sessions.checkpointAll()
+		}
+	}
+}
+
+// sweepLoop evicts idle sessions on a cadence of TTL/4 (clamped so tests
+// with millisecond TTLs and deployments with day-long ones both behave).
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	every := s.cfg.SessionTTL / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	if every > time.Minute {
+		every = time.Minute
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if n := s.sessions.sweep(s.cfg.SessionTTL); n > 0 {
+				s.logf("evicted %d idle session(s)", n)
+			}
+		}
+	}
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -128,15 +224,15 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // LoadModelFile loads a snapshot file into the registry under name,
-// hot-swapping any model already served under it, and returns the loaded
-// snapshot.
-func (s *Server) LoadModelFile(name, path string) (*model.Snapshot, error) {
+// hot-swapping any model already served under it. It returns the loaded
+// snapshot and whether an existing model was replaced.
+func (s *Server) LoadModelFile(name, path string) (*model.Snapshot, bool, error) {
 	if err := validateName(name); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	snap, err := model.LoadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	replaced := s.registry.set(name, snap, s.cfg.BufferSize)
 	verb := "loaded"
@@ -144,7 +240,7 @@ func (s *Server) LoadModelFile(name, path string) (*model.Snapshot, error) {
 		verb = "hot-swapped"
 	}
 	s.logf("%s model %q from %s (k=%d, epoch=%d, %d features)", verb, name, path, snap.K, snap.Epoch, snap.D())
-	return snap, nil
+	return snap, replaced, nil
 }
 
 // AddModel registers an in-memory snapshot (used by tests and embedders).
@@ -157,15 +253,22 @@ func (s *Server) AddModel(name string, snap *model.Snapshot) error {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /models", s.handleListModels)
-	s.mux.HandleFunc("POST /models", s.handleLoadModel)
-	s.mux.HandleFunc("DELETE /models/{name}", s.handleDeleteModel)
-	s.mux.HandleFunc("POST /assign", s.handleAssign)
-	s.mux.HandleFunc("POST /assign/batch", s.handleAssignBatch)
-	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
-	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	// Every route registers through handle so the per-endpoint request and
+	// error counters in /metrics cover all traffic, not just the assign path.
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /models", s.handleListModels)
+	s.handle("POST /models", s.handleLoadModel)
+	s.handle("DELETE /models/{name}", s.handleDeleteModel)
+	s.handle("POST /assign", s.handleAssign)
+	s.handle("POST /assign/batch", s.handleAssignBatch)
+	s.handle("POST /sessions", s.handleCreateSession)
+	s.handle("DELETE /sessions/{id}", s.handleDeleteSession)
+	s.handle("POST /checkpoint", s.handleCheckpoint)
+}
+
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.metrics.http.instrument(pattern, fn))
 }
 
 // ---- wire types ----
@@ -308,7 +411,7 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	snap, err := s.LoadModelFile(req.Name, req.Path)
+	snap, replaced, err := s.LoadModelFile(req.Name, req.Path)
 	if err != nil {
 		status := http.StatusBadRequest
 		var verr *model.VersionError
@@ -318,7 +421,13 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, modelInfo{
+	// A first load creates the served resource (201); re-loading an already
+	// served name is a hot swap of the existing one (200).
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, modelInfo{
 		Name: req.Name, K: snap.K, Epoch: snap.Epoch, Features: snap.D(),
 		Kappa: snap.Kappa, TrainN: snap.TrainN,
 	})
@@ -378,13 +487,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 			Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding,
 		})
 	case req.Session != "":
-		sess, ok := s.sessions.get(req.Session)
-		if !ok {
+		a, found, err := s.sessions.assign(req.Session, req.Row, driftThreshold)
+		if !found {
 			s.metrics.assignErrors.Add(1)
 			writeError(w, http.StatusNotFound, "no session %q", req.Session)
 			return
 		}
-		a, err := sess.add(req.Row, driftThreshold)
 		if err != nil {
 			s.metrics.assignErrors.Add(1)
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -478,4 +586,16 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCheckpoint flushes every session checkpoint on demand — the lever a
+// deployment (or the CI resume test) pulls to pin a durable cut point
+// without waiting for the periodic sweep or a shutdown.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.StateDir == "" {
+		writeError(w, http.StatusBadRequest, "daemon runs without -state-dir; nothing to checkpoint to")
+		return
+	}
+	n := s.sessions.checkpointAll()
+	writeJSON(w, http.StatusOK, map[string]int{"checkpointed": n})
 }

@@ -40,7 +40,10 @@ func trainModel(t *testing.T, n, d, k int, seed int64) (*model.Snapshot, [][]int
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts
@@ -90,7 +93,7 @@ func TestServeMatchesInProcess(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
 	resp, data := post(t, ts.URL+"/models", map[string]string{"name": "m", "path": path})
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("load model: %d %s", resp.StatusCode, data)
 	}
 
@@ -240,9 +243,9 @@ func TestModelLifecycleAndErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("missing model: %d", resp.StatusCode)
 	}
-	// Load, list, hot-swap, delete.
+	// Load (201: resource created), list, hot-swap (200: replaced), delete.
 	resp, data := post(t, ts.URL+"/models", map[string]string{"name": "m", "path": path})
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("load: %d %s", resp.StatusCode, data)
 	}
 	resp, data = get(t, ts.URL+"/models")

@@ -1,32 +1,70 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mcdc/internal/core"
+	"mcdc/internal/model"
 	"mcdc/internal/stream"
 )
+
+// checkpointExt is the file suffix of one session's checkpoint inside the
+// pool's state directory: <state-dir>/sessions/<id>.ckpt. Session ids pass
+// validateName (letters, digits, '-', '_', '.'), so the id is safe as a file
+// name and the mapping is invertible.
+const checkpointExt = ".ckpt"
 
 // session wraps one streaming clusterer. stream.Clusterer is single-goroutine
 // by contract, so every operation holds the session's own mutex: arrivals
 // within a session are serialized (preserving the per-session determinism
 // contract — one rng, one presentation order), while different sessions
 // proceed in parallel.
+//
+// Lock order: a goroutine holding a session mutex must not acquire a shard
+// mutex (shard → session only). The TTL sweeper, which needs both, takes the
+// session mutex via TryLock outside any shard lock and re-acquires the shard
+// lock only after releasing nothing it still holds.
 type session struct {
-	mu     sync.Mutex
-	c      *stream.Clusterer
-	lowSim int64 // drift counter, guarded by mu
+	mu      sync.Mutex
+	c       *stream.Clusterer
+	lowSim  int64     // drift counter, guarded by mu
+	lastUse time.Time // guarded by mu; drives TTL eviction
+	// gone marks a session that was evicted or deleted after a caller already
+	// held its pointer: the late operation must fail and retry through the
+	// pool (which pages a checkpointed session back in) instead of mutating
+	// an orphan whose state would silently vanish.
+	gone bool // guarded by mu
 }
 
 // sessionPool is a lock-sharded map of streaming sessions. Concurrent
 // /assign calls for different sessions hash to (usually) different shards,
 // so pool bookkeeping never becomes the serialization point — only the
 // per-session mutex serializes, and only within one stream.
+//
+// With a state directory the pool is also durable: sessions checkpoint to
+// one file each (all checkpoint writes happen under the session mutex, so a
+// file always holds the newest snapshot), idle-evicted sessions spill to
+// disk instead of being lost, and a lookup miss pages a checkpointed session
+// back in transparently.
 type sessionPool struct {
 	shards []*sessionShard
+	dir    string // "" → memory-only (eviction discards, restarts forget)
+	logf   func(format string, args ...any)
+
+	evicted      atomic.Int64 // sessions evicted by the TTL sweeper
+	restored     atomic.Int64 // sessions paged in from checkpoints
+	checkpoints  atomic.Int64 // checkpoint files written
+	lowSimRetire atomic.Int64 // drift counts of evicted/deleted sessions
 }
 
 type sessionShard struct {
@@ -34,11 +72,14 @@ type sessionShard struct {
 	m  map[string]*session
 }
 
-func newSessionPool(shards int) *sessionPool {
+func newSessionPool(shards int, dir string, logf func(format string, args ...any)) *sessionPool {
 	if shards <= 0 {
 		shards = 16
 	}
-	p := &sessionPool{shards: make([]*sessionShard, shards)}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p := &sessionPool{shards: make([]*sessionShard, shards), dir: dir, logf: logf}
 	for i := range p.shards {
 		p.shards[i] = &sessionShard{m: make(map[string]*session)}
 	}
@@ -51,15 +92,62 @@ func (p *sessionPool) shard(id string) *sessionShard {
 	return p.shards[h.Sum32()%uint32(len(p.shards))]
 }
 
+func (p *sessionPool) path(id string) string {
+	return filepath.Join(p.dir, id+checkpointExt)
+}
+
+// get returns the live session for id, paging it in from its checkpoint
+// when the pool is durable and the session was evicted to disk.
 func (p *sessionPool) get(id string) (*session, bool) {
 	sh := p.shard(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	s, ok := sh.m[id]
-	return s, ok
+	sh.mu.RUnlock()
+	if ok || p.dir == "" {
+		return s, ok
+	}
+	// Resident ids all passed validateName at create/restore time, so only
+	// the disk path below needs the guard — it keeps a crafted id
+	// ("../../x") from escaping the state dir, and it must run before any
+	// path is formed.
+	if validateName(id) != nil {
+		return nil, false
+	}
+	// Cheap negative lookup outside the write lock: the common miss — a
+	// request naming a session that simply does not exist — must not pay
+	// file I/O while blocking the whole shard.
+	if _, err := os.Stat(p.path(id)); err != nil {
+		return nil, false
+	}
+	// A checkpoint exists: page it in. The shard write lock makes the
+	// check-load-insert atomic, so two concurrent misses for the same id
+	// cannot restore two divergent copies.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.m[id]; ok {
+		return s, true
+	}
+	st, err := model.LoadStreamFile(p.path(id))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			p.logf("session %q: unreadable checkpoint %s: %v", id, p.path(id), err)
+		}
+		return nil, false
+	}
+	c, err := stream.Restore(st)
+	if err != nil {
+		p.logf("session %q: corrupt checkpoint %s: %v", id, p.path(id), err)
+		return nil, false
+	}
+	s = &session{c: c, lastUse: time.Now()}
+	sh.m[id] = s
+	p.restored.Add(1)
+	return s, true
 }
 
-// create registers a new streaming session. It fails if the id is taken.
+// create registers a new streaming session. It fails if the id is taken —
+// including by a checkpointed-but-evicted session, which a create would
+// otherwise silently shadow until the next eviction overwrote its file.
 func (p *sessionPool) create(id string, cardinalities []int, window int, seed int64, workers int) error {
 	c, err := stream.NewClusterer(stream.Config{
 		Cardinalities: cardinalities,
@@ -78,19 +166,208 @@ func (p *sessionPool) create(id string, cardinalities []int, window int, seed in
 	if _, ok := sh.m[id]; ok {
 		return fmt.Errorf("server: session %q already exists", id)
 	}
-	sh.m[id] = &session{c: c}
+	if p.dir != "" {
+		if _, err := os.Stat(p.path(id)); err == nil {
+			return fmt.Errorf("server: session %q already exists (checkpointed on disk)", id)
+		}
+	}
+	sh.m[id] = &session{c: c, lastUse: time.Now()}
 	return nil
 }
 
+// remove deletes a session and, in a durable pool, its checkpoint file.
+// Ordering is load-bearing twice over: the gone flag is raised (under the
+// session mutex) before the file is unlinked, so no checkpoint writer —
+// they all check gone behind that mutex — can rewrite the file afterwards;
+// and the unlink happens under the shard lock, so a concurrent get() cannot
+// page the session back in from a checkpoint that is about to vanish
+// (page-in holds the same shard lock). Taking the session mutex inside the
+// shard lock follows the pool's shard → session lock order.
 func (p *sessionPool) remove(id string) bool {
 	sh := p.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.m[id]; !ok {
-		return false
-	}
+	s, ok := sh.m[id]
 	delete(sh.m, id)
-	return true
+	if ok {
+		s.mu.Lock()
+		if !s.gone { // an eviction may have retired it in parallel
+			s.gone = true
+			p.lowSimRetire.Add(s.lowSim)
+		}
+		s.mu.Unlock()
+	}
+	// The validateName guard keeps a crafted id from unlinking files
+	// outside the state dir (resident ids were validated at create time,
+	// but this path also runs for ids that were never resident).
+	if p.dir != "" && validateName(id) == nil {
+		if os.Remove(p.path(id)) == nil {
+			ok = true // an evicted-to-disk session counts as existing
+		}
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// dropIfSame removes a specific (gone) session object from the map — the
+// cleanup a caller performs after losing the eviction race, so its retry
+// reaches the checkpoint instead of the dead pointer.
+func (p *sessionPool) dropIfSame(id string, s *session) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if cur, ok := sh.m[id]; ok && cur == s {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+}
+
+// assign feeds one row to the session, reporting found=false when no such
+// session exists (in memory or on disk). It retries past an eviction that
+// lands between lookup and lock: the evictor checkpointed the session before
+// marking it gone, so the retry pages the up-to-date state back in and no
+// arrival is lost.
+func (p *sessionPool) assign(id string, row []int, driftThreshold float64) (stream.Assignment, bool, error) {
+	for try := 0; try < 3; try++ {
+		s, ok := p.get(id)
+		if !ok {
+			return stream.Assignment{}, false, nil
+		}
+		a, gone, err := s.addRow(row, driftThreshold)
+		if !gone {
+			return a, true, err
+		}
+		p.dropIfSame(id, s)
+	}
+	return stream.Assignment{}, false, nil
+}
+
+// addRow feeds one row under the session mutex, tracking drift and recency.
+func (s *session) addRow(row []int, driftThreshold float64) (stream.Assignment, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return stream.Assignment{}, true, nil
+	}
+	s.lastUse = time.Now()
+	a, err := s.c.Add(row)
+	if err == nil && a.Similarity < driftThreshold {
+		s.lowSim++
+	}
+	return a, false, err
+}
+
+// saveLocked checkpoints a session; the caller holds s.mu. Serializing every
+// file write through the session mutex keeps the checkpoint file monotone:
+// a slow periodic sweep can never overwrite the newer state an eviction just
+// flushed.
+func (p *sessionPool) saveLocked(id string, s *session) error {
+	return s.c.Snapshot().SaveFile(p.path(id))
+}
+
+// checkpointAll flushes every live session to disk and returns how many
+// checkpoints were written. It is the periodic sweep, the graceful-shutdown
+// flush, and the POST /checkpoint handler.
+func (p *sessionPool) checkpointAll() int {
+	if p.dir == "" {
+		return 0
+	}
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		ids := make([]string, 0, len(sh.m))
+		ss := make([]*session, 0, len(sh.m))
+		for id, s := range sh.m {
+			ids = append(ids, id)
+			ss = append(ss, s)
+		}
+		sh.mu.RUnlock()
+		for i, s := range ss {
+			s.mu.Lock()
+			if !s.gone {
+				if err := p.saveLocked(ids[i], s); err != nil {
+					p.logf("checkpoint session %q: %v", ids[i], err)
+				} else {
+					n++
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	p.checkpoints.Add(int64(n))
+	return n
+}
+
+// sweep evicts sessions idle longer than ttl and returns how many went. In a
+// durable pool eviction checkpoints first (the session spills to disk and
+// pages back in on next touch); in a memory-only pool eviction is deletion.
+// Busy sessions are skipped via TryLock — a held mutex means the session is
+// mid-arrival and by definition not idle.
+func (p *sessionPool) sweep(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-ttl)
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		ids := make([]string, 0, len(sh.m))
+		ss := make([]*session, 0, len(sh.m))
+		for id, s := range sh.m {
+			ids = append(ids, id)
+			ss = append(ss, s)
+		}
+		sh.mu.RUnlock()
+		for i, s := range ss {
+			if !s.mu.TryLock() {
+				continue
+			}
+			if s.gone || s.lastUse.After(cutoff) {
+				s.mu.Unlock()
+				continue
+			}
+			if p.dir != "" {
+				if err := p.saveLocked(ids[i], s); err != nil {
+					p.logf("evict session %q: checkpoint failed, keeping it in memory: %v", ids[i], err)
+					s.mu.Unlock()
+					continue
+				}
+			}
+			s.gone = true
+			p.lowSimRetire.Add(s.lowSim)
+			s.mu.Unlock()
+			p.dropIfSame(ids[i], s)
+			n++
+		}
+	}
+	p.evicted.Add(int64(n))
+	return n
+}
+
+// restoreAll pages every checkpointed session back in — the startup path
+// that makes a restart transparent. Unreadable checkpoints are logged and
+// left in place for inspection; they do not block the boot.
+func (p *sessionPool) restoreAll() int {
+	if p.dir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		p.logf("restore sessions: %v", err)
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+			continue
+		}
+		id := strings.TrimSuffix(e.Name(), checkpointExt)
+		if validateName(id) != nil {
+			continue
+		}
+		if _, ok := p.get(id); ok { // get performs the page-in
+			n++
+		}
+	}
+	return n
 }
 
 func (p *sessionPool) count() int {
@@ -103,9 +380,11 @@ func (p *sessionPool) count() int {
 	return n
 }
 
-// lowSimTotal sums the drift counters across sessions.
+// lowSimTotal sums the drift counters across live sessions plus the retired
+// counts of evicted and deleted ones, so the exported counter stays
+// monotone when sessions leave memory.
 func (p *sessionPool) lowSimTotal() int64 {
-	var n int64
+	n := p.lowSimRetire.Load()
 	for _, sh := range p.shards {
 		sh.mu.RLock()
 		for _, s := range sh.m {
@@ -116,15 +395,4 @@ func (p *sessionPool) lowSimTotal() int64 {
 		sh.mu.RUnlock()
 	}
 	return n
-}
-
-// add feeds one row to the session, tracking drift.
-func (s *session) add(row []int, driftThreshold float64) (stream.Assignment, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.c.Add(row)
-	if err == nil && a.Similarity < driftThreshold {
-		s.lowSim++
-	}
-	return a, err
 }
