@@ -8,19 +8,26 @@
 //	      [-relearn 10m] [-relearn-min 64] [-buffer 4096]
 //	      [-seed 1] [-parallel 0] [-shards 16] [-addr-file path]
 //	      [-state-dir dir] [-checkpoint 30s] [-session-ttl 1h]
+//	      [-max-inflight 0] [-queue-depth 0] [-retry-after 1s]
 //
 // Gateway mode — a consistent-hash front end over a fleet of backends:
 //
 //	mcdcd -backends 127.0.0.1:8081,127.0.0.1:8082 [-ring-replicas 128]
 //	      [-health 5s] [-addr :8080] [-addr-file path]
 //
-// Endpoints (see internal/server for the full contract):
+// Endpoints are versioned under /v1, with the unversioned spellings kept as
+// aliases (see internal/server for the full contract, including the binary
+// frame protocol on the assign routes):
 //
-//	curl localhost:8080/healthz
-//	curl localhost:8080/metrics
-//	curl -X POST localhost:8080/assign -d '{"model":"nodes","row":[0,1,2]}'
-//	curl -X POST localhost:8080/assign/batch -d '{"model":"nodes","rows":[[0,1,2],[1,1,0]]}'
-//	curl -X POST localhost:8080/models -d '{"name":"fresh","path":"fresh.bin"}'
+//	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/metrics
+//	curl -X POST localhost:8080/v1/assign -d '{"model":"nodes","row":[0,1,2]}'
+//	curl -X POST localhost:8080/v1/assign/batch -d '{"model":"nodes","rows":[[0,1,2],[1,1,0]]}'
+//	curl -X POST localhost:8080/v1/models -d '{"name":"fresh","path":"fresh.bin"}'
+//
+// With -max-inflight > 0 the assignment routes sit behind admission control:
+// at most -max-inflight requests execute at once, -queue-depth more wait,
+// and anything beyond that is shed with 429 + Retry-After (-retry-after).
 //
 // -addr supports port 0 (pick a free port); the resolved address is printed
 // on stdout and, with -addr-file, written to a file so scripts can wait for
@@ -85,6 +92,9 @@ func run() error {
 		stateDir   = flag.String("state-dir", "", "persist session checkpoints under this directory and resume them on startup")
 		checkpoint = flag.Duration("checkpoint", 30*time.Second, "periodic session-checkpoint interval with -state-dir (0 = only on shutdown and POST /checkpoint)")
 		sessionTTL = flag.Duration("session-ttl", 0, "evict streaming sessions idle this long (0 = never; with -state-dir eviction spills to disk)")
+		maxInfl    = flag.Int("max-inflight", 0, "max concurrently executing assignment requests (0 = no admission control)")
+		queueDepth = flag.Int("queue-depth", 0, "assignment requests allowed to wait for a slot before shedding with 429")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After delay advertised on shed (429) responses")
 		backends   = flag.String("backends", "", "comma-separated backend addresses: run as a consistent-hash gateway instead of serving models")
 		replicas   = flag.Int("ring-replicas", 128, "virtual nodes per backend on the gateway hash ring")
 		health     = flag.Duration("health", 5*time.Second, "gateway per-backend health-check interval (0 = disabled)")
@@ -121,6 +131,9 @@ func run() error {
 			StateDir:             *stateDir,
 			CheckpointEvery:      *checkpoint,
 			SessionTTL:           *sessionTTL,
+			MaxInFlight:          *maxInfl,
+			QueueDepth:           *queueDepth,
+			RetryAfter:           *retryAfter,
 			Logf:                 log.Printf,
 		})
 		if err != nil {

@@ -1,0 +1,290 @@
+// Command mcdcload is a deterministic load generator for mcdcd: it drives a
+// single backend or a gateway fleet with synthetic assignment traffic and
+// reports latency quantiles (p50/p99/p999), throughput, and error rates —
+// the serving-side counterpart of the sec/op benchmarks, and the tool the
+// CI SLO smoke runs against a seeded fleet.
+//
+// Usage:
+//
+//	mcdcload -addr 127.0.0.1:8080 -model nodes -n 2000 [-batch 0]
+//	         [-concurrency 4] [-seed 1] [-proto json|binary]
+//	         [-json out.json] [-max-p99 0] [-fail-on-errors]
+//
+// The row stream is a pure function of -seed, -concurrency, and the model's
+// cardinality schema (fetched from GET /v1/models), so two runs against the
+// same fleet replay identical traffic. With -batch > 0 each request is an
+// assign-batch of that many rows; otherwise single assigns (pipelined in
+// chunks when -proto binary). -max-p99 and -fail-on-errors turn the run
+// into a gate: exit 1 when the SLO is missed or any request fails.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mcdc/client"
+)
+
+// pipelineChunk bounds how many single assigns ride one binary request.
+const pipelineChunk = 64
+
+// Report is the JSON artifact: enough to trend latency like sec/op.
+type Report struct {
+	Addr        string  `json:"addr"`
+	Model       string  `json:"model"`
+	Proto       string  `json:"proto"`
+	Seed        int64   `json:"seed"`
+	Concurrency int     `json:"concurrency"`
+	BatchSize   int     `json:"batch_size"`
+	Requests    int64   `json:"requests"`
+	Rows        int64   `json:"rows"`
+	Errors      int64   `json:"errors"`
+	Sheds       int64   `json:"sheds"` // overloaded (429) verdicts, a subset of errors
+	Seconds     float64 `json:"seconds"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	Latency     Quants  `json:"latency"`
+	Histogram   []Bin   `json:"histogram"`
+}
+
+// Quants are request-latency quantiles in milliseconds.
+type Quants struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// Bin is one bucket of the log-scaled latency histogram.
+type Bin struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int     `json:"count"`
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "daemon or gateway address")
+		modelN  = flag.String("model", "", "served model to drive (required)")
+		n       = flag.Int("n", 1000, "total rows to assign")
+		batch   = flag.Int("batch", 0, "rows per assign-batch request (0 = single assigns)")
+		conc    = flag.Int("concurrency", 4, "concurrent workers")
+		seed    = flag.Int64("seed", 1, "row-stream seed (the traffic is a pure function of it)")
+		proto   = flag.String("proto", "json", "protocol: json or binary")
+		jsonOut = flag.String("json", "", "write the report JSON to this file (default stdout only)")
+		maxP99  = flag.Duration("max-p99", 0, "fail (exit 1) when p99 latency exceeds this (0 = no gate)")
+		failErr = flag.Bool("fail-on-errors", false, "fail (exit 1) when any request errors")
+	)
+	flag.Parse()
+	rep, err := run(*addr, *modelN, *proto, *n, *batch, *conc, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdcload:", err)
+		os.Exit(1)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdcload:", err)
+			os.Exit(1)
+		}
+	}
+	if *failErr && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "mcdcload: %d/%d requests failed\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+	if *maxP99 > 0 && rep.Latency.P99 > float64(*maxP99)/float64(time.Millisecond) {
+		fmt.Fprintf(os.Stderr, "mcdcload: p99 %.2fms exceeds the %.0fms SLO\n",
+			rep.Latency.P99, float64(*maxP99)/float64(time.Millisecond))
+		os.Exit(1)
+	}
+}
+
+// run executes the load and builds the report. Exposed to tests.
+func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report, error) {
+	if modelName == "" {
+		return nil, fmt.Errorf("-model is required")
+	}
+	if proto != "json" && proto != "binary" {
+		return nil, fmt.Errorf("-proto must be json or binary, got %q", proto)
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	opts := []client.Option{}
+	if proto == "binary" {
+		opts = append(opts, client.WithBinary())
+	}
+	c := client.New(addr, opts...)
+	ctx := context.Background()
+
+	// The schema the synthetic rows must respect.
+	models, err := c.Models(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fetch models: %w", err)
+	}
+	var cards []int
+	for _, m := range models {
+		if m.Name == modelName {
+			cards = m.Cardinalities
+		}
+	}
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("model %q not served (or predates the cardinalities schema)", modelName)
+	}
+
+	// Static work split: worker w serves rows [starts[w], starts[w+1]) of
+	// the global stream, each from its own rng — deterministic regardless
+	// of scheduling.
+	per := n / conc
+	extra := n % conc
+	type workerOut struct {
+		lats   []time.Duration
+		rows   int64
+		reqs   int64
+		errs   int64
+		sheds  int64
+		hadErr error
+	}
+	outs := make([]workerOut, conc)
+	var wg sync.WaitGroup
+	started := time.Now()
+	for w := 0; w < conc; w++ {
+		quota := per
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
+			o := &outs[w]
+			newRow := func() []int {
+				row := make([]int, len(cards))
+				for i, card := range cards {
+					row[i] = rng.Intn(card)
+				}
+				return row
+			}
+			record := func(nRows int, d time.Duration, err error) {
+				o.reqs++
+				o.lats = append(o.lats, d)
+				if err != nil {
+					o.errs++
+					if client.IsCode(err, "overloaded") {
+						o.sheds++
+					}
+					if o.hadErr == nil {
+						o.hadErr = err
+					}
+					return
+				}
+				o.rows += int64(nRows)
+			}
+			switch {
+			case batch > 0:
+				for done := 0; done < quota; done += batch {
+					size := batch
+					if done+size > quota {
+						size = quota - done
+					}
+					rows := make([][]int, size)
+					for i := range rows {
+						rows[i] = newRow()
+					}
+					t0 := time.Now()
+					_, err := c.AssignBatch(ctx, modelName, rows)
+					record(size, time.Since(t0), err)
+				}
+			case proto == "binary":
+				// Pipeline singles in chunks, the persistent-connection
+				// fast path.
+				for done := 0; done < quota; done += pipelineChunk {
+					size := pipelineChunk
+					if done+size > quota {
+						size = quota - done
+					}
+					rows := make([][]int, size)
+					for i := range rows {
+						rows[i] = newRow()
+					}
+					t0 := time.Now()
+					_, err := c.AssignMany(ctx, modelName, rows)
+					record(size, time.Since(t0), err)
+				}
+			default:
+				for done := 0; done < quota; done++ {
+					row := newRow()
+					t0 := time.Now()
+					_, err := c.Assign(ctx, modelName, row)
+					record(1, time.Since(t0), err)
+				}
+			}
+		}(w, quota)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	rep := &Report{
+		Addr: addr, Model: modelName, Proto: proto, Seed: seed,
+		Concurrency: conc, BatchSize: batch, Seconds: elapsed.Seconds(),
+	}
+	var lats []time.Duration
+	for w := range outs {
+		rep.Requests += outs[w].reqs
+		rep.Rows += outs[w].rows
+		rep.Errors += outs[w].errs
+		rep.Sheds += outs[w].sheds
+		lats = append(lats, outs[w].lats...)
+	}
+	if rep.Seconds > 0 {
+		rep.RowsPerSec = float64(rep.Rows) / rep.Seconds
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.Latency = quantiles(lats)
+	rep.Histogram = histogram(lats)
+	return rep, nil
+}
+
+// quantiles reads p50/p99/p999 off the sorted latencies (nearest-rank).
+func quantiles(sorted []time.Duration) Quants {
+	if len(sorted) == 0 {
+		return Quants{}
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return Quants{
+		P50:  at(0.50),
+		P99:  at(0.99),
+		P999: at(0.999),
+		Max:  float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
+
+// histogram buckets latencies into doubling bounds from 0.1ms to ~102s —
+// compact, and stable across runs for diffing.
+func histogram(sorted []time.Duration) []Bin {
+	bounds := []float64{}
+	for ms := 0.1; ms < 120_000; ms *= 2 {
+		bounds = append(bounds, ms)
+	}
+	bins := make([]Bin, 0, len(bounds))
+	i := 0
+	for _, le := range bounds {
+		for i < len(sorted) && float64(sorted[i])/float64(time.Millisecond) <= le {
+			i++
+		}
+		bins = append(bins, Bin{LeMs: le, Count: i}) // cumulative, like Prometheus le
+		if i == len(sorted) {
+			break
+		}
+	}
+	return bins
+}

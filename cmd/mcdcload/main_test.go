@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mcdc"
+	"mcdc/internal/server"
+)
+
+// serveModel boots a daemon core with one trained model and returns a
+// httptest server wrapping handler (which may decorate the daemon handler).
+func serveModel(t *testing.T, wrap func(http.Handler) http.Handler) string {
+	t.Helper()
+	ds := mcdc.SyntheticDataset("nodes", 300, 6, 3, 1)
+	res, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "nodes.bin")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.LoadModelFile("nodes", path); err != nil {
+		t.Fatal(err)
+	}
+	var h http.Handler = srv.Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts.URL
+}
+
+// TestRunModes drives all three traffic shapes against a live daemon and
+// sanity-checks the report arithmetic.
+func TestRunModes(t *testing.T) {
+	addr := serveModel(t, nil)
+	cases := []struct {
+		name  string
+		proto string
+		batch int
+	}{
+		{"json singles", "json", 0},
+		{"binary pipelined", "binary", 0},
+		{"json batch", "json", 10},
+		{"binary batch", "binary", 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := run(addr, "nodes", tc.proto, 97, tc.batch, 3, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Errors != 0 || rep.Sheds != 0 {
+				t.Fatalf("clean run reported errors=%d sheds=%d", rep.Errors, rep.Sheds)
+			}
+			if rep.Rows != 97 {
+				t.Fatalf("assigned %d rows, want 97", rep.Rows)
+			}
+			if rep.Requests == 0 || rep.RowsPerSec <= 0 {
+				t.Fatalf("implausible report: %+v", rep)
+			}
+			q := rep.Latency
+			if q.P50 <= 0 || q.P50 > q.P99 || q.P99 > q.P999 || q.P999 > q.Max {
+				t.Fatalf("quantiles out of order: %+v", q)
+			}
+			if n := len(rep.Histogram); n == 0 || rep.Histogram[n-1].Count != int(rep.Requests) {
+				t.Fatalf("histogram does not cover all requests: %+v", rep.Histogram)
+			}
+		})
+	}
+}
+
+// TestRunDeterministic pins the replay property: the same seed produces the
+// same request stream, byte for byte (single worker keeps ordering fixed).
+func TestRunDeterministic(t *testing.T) {
+	var mu sync.Mutex
+	var streams [][]string
+	var current []string
+	addr := serveModel(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost {
+				body, _ := io.ReadAll(r.Body)
+				r.Body.Close()
+				mu.Lock()
+				current = append(current, string(body))
+				mu.Unlock()
+				r.Body = io.NopCloser(bytes.NewReader(body))
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+
+	for i := 0; i < 2; i++ {
+		mu.Lock()
+		current = nil
+		mu.Unlock()
+		if _, err := run(addr, "nodes", "json", 40, 0, 1, 7); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		streams = append(streams, current)
+		mu.Unlock()
+	}
+	if len(streams[0]) != 40 {
+		t.Fatalf("recorded %d requests, want 40", len(streams[0]))
+	}
+	if !reflect.DeepEqual(streams[0], streams[1]) {
+		t.Fatal("two runs with the same seed sent different request streams")
+	}
+
+	// A different seed really changes the traffic.
+	mu.Lock()
+	current = nil
+	mu.Unlock()
+	if _, err := run(addr, "nodes", "json", 40, 0, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	other := current
+	mu.Unlock()
+	if reflect.DeepEqual(streams[0], other) {
+		t.Fatal("different seeds replayed identical traffic")
+	}
+}
+
+// TestRunErrors covers the gate-relevant failure shapes.
+func TestRunErrors(t *testing.T) {
+	addr := serveModel(t, nil)
+	if _, err := run(addr, "", "json", 10, 0, 1, 1); err == nil {
+		t.Fatal("missing -model must fail")
+	}
+	if _, err := run(addr, "nodes", "carrier-pigeon", 10, 0, 1, 1); err == nil {
+		t.Fatal("unknown -proto must fail")
+	}
+	if _, err := run(addr, "ghost", "json", 10, 0, 1, 1); err == nil {
+		t.Fatal("unserved model must fail before sending traffic")
+	}
+}

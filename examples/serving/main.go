@@ -2,27 +2,31 @@
 // once, frozen to a versioned snapshot file, and served by the mcdcd daemon
 // core over HTTP — the long-lived service a scheduler consults to ask
 // "which performance-consistent group does this node belong to?" without
-// ever re-learning in-process.
+// ever re-learning in-process. Queries go through the typed client package,
+// first over JSON and then over the pipelined binary frame protocol; the
+// two answer identically.
 //
 //	go run ./examples/serving
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 
 	"mcdc"
+	"mcdc/client"
 	"mcdc/internal/server"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Train offline and freeze the model (what `mcdc -save` does).
 	ds := mcdc.SyntheticDataset("nodes", 600, 8, 3, 1)
 	res, err := mcdc.Cluster(ds, 3, mcdc.WithSeed(1))
@@ -60,71 +64,53 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("mcdcd core listening on %s\n", base)
+	fmt.Printf("mcdcd core listening on %s\n", ln.Addr())
 
-	// 3. Query it like any client would.
-	var health struct {
-		Status string         `json:"status"`
-		Models map[string]int `json:"models"`
+	// 3. Query it through the typed client.
+	c := client.New(ln.Addr().String())
+	if err := c.Health(ctx); err != nil {
+		log.Fatal(err)
 	}
-	getJSON(base+"/healthz", &health)
-	fmt.Printf("healthz: %s, models=%v\n", health.Status, health.Models)
+	models, err := c.Models(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthz ok; serving %q (k=%d, %d features)\n", models[0].Name, models[0].K, models[0].Features)
 
-	var a struct {
-		Cluster    int     `json:"cluster"`
-		Similarity float64 `json:"similarity"`
-		Epoch      int     `json:"epoch"`
+	a, err := c.Assign(ctx, "nodes", ds.Rows[0])
+	if err != nil {
+		log.Fatal(err)
 	}
-	postJSON(base+"/assign", map[string]any{"model": "nodes", "row": ds.Rows[0]}, &a)
 	fmt.Printf("assign row 0 → cluster %d (similarity %.2f, epoch %d); training label was %d\n",
 		a.Cluster, a.Similarity, a.Epoch, res.Labels[0])
 
-	var batch struct {
-		Assignments []struct {
-			Cluster int `json:"cluster"`
-		} `json:"assignments"`
+	batch, err := c.AssignBatch(ctx, "nodes", ds.Rows[:10])
+	if err != nil {
+		log.Fatal(err)
 	}
-	postJSON(base+"/assign/batch", map[string]any{"model": "nodes", "rows": ds.Rows[:10]}, &batch)
 	agree := 0
-	for i, ba := range batch.Assignments {
+	for i, ba := range batch {
 		if ba.Cluster == res.Labels[i] {
 			agree++
 		}
 	}
-	fmt.Printf("batch assign: %d/%d rows match the in-process labels\n", agree, len(batch.Assignments))
-}
+	fmt.Printf("batch assign: %d/%d rows match the in-process labels\n", agree, len(batch))
 
-func getJSON(url string, v any) {
-	resp, err := http.Get(url)
+	// 4. Same queries over the binary frame protocol — byte-identical
+	// answers on one persistent pipelined connection.
+	cb := client.New(ln.Addr().String(), client.WithBinary())
+	many, err := cb.AssignMany(ctx, "nodes", ds.Rows[:10])
 	if err != nil {
 		log.Fatal(err)
 	}
-	decodeBody(resp, v)
-}
+	if !reflect.DeepEqual(many, batch) {
+		log.Fatalf("binary pipelined answers diverge from JSON batch:\n%v\nvs\n%v", many, batch)
+	}
+	fmt.Printf("binary pipelined assign: %d rows, identical to the JSON answers\n", len(many))
 
-func postJSON(url string, body, v any) {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		log.Fatal(err)
+	// Stable error codes make failures machine-checkable.
+	if _, err := c.Assign(ctx, "ghost", ds.Rows[0]); !client.IsCode(err, "unknown_model") {
+		log.Fatalf("expected unknown_model, got %v", err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		log.Fatal(err)
-	}
-	decodeBody(resp, v)
-}
-
-func decodeBody(resp *http.Response, v any) {
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s: %s", resp.Status, data)
-	}
-	if err := json.Unmarshal(data, v); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println("unknown model rejected with the stable code unknown_model")
 }

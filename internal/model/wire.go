@@ -1,0 +1,429 @@
+package model
+
+// The binary assignment wire codec: the compact, length-prefixed frame
+// protocol the serving daemon speaks next to HTTP/JSON. It deliberately
+// mirrors the snapshot envelope's conventions — an 8-byte magic, a format
+// version byte checked before anything else is decoded, and a typed version
+// error — so the "bump the byte on any incompatible change, fail fast on
+// alien versions" policy is one rule across files and wires.
+//
+// A wire stream is
+//
+//	"MCDCWIRE" | version(1) | frame*
+//
+// and every frame is
+//
+//	kind(1) | uvarint(payload length) | payload
+//
+// Payload scalars are encoded with encoding/binary varints: unsigned values
+// as uvarints, possibly-negative values (row codes may carry out-of-domain
+// negatives) as zigzag varints, strings as uvarint length + bytes, and
+// float64s as 8 fixed big-endian bytes of their IEEE bit pattern — exactness
+// matters, because the binary path must decode to the very float the JSON
+// path produces. Frames are self-contained: a reader can decode any frame
+// knowing only its kind, and unknown kinds are a protocol error, never a
+// skip — the version byte is the compatibility lever, not lenient parsing.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WireVersion is the binary frame protocol version this build speaks. Policy
+// mirrors FormatVersion: bump on any incompatible change to the stream
+// header, frame layout, or payload encodings; readers refuse other versions
+// with a *WireVersionError before decoding a single frame.
+const WireVersion = 1
+
+// wireMagic opens every binary wire stream (one per HTTP request/response
+// body, not one per frame).
+var wireMagic = []byte("MCDCWIRE")
+
+// MaxFramePayload bounds a single frame's payload. Large batches are carried
+// as many row-chunk frames, so no legitimate frame approaches this; a length
+// beyond it means a corrupt or hostile stream and fails decoding instead of
+// provoking a giant allocation.
+const MaxFramePayload = 16 << 20
+
+// Frame kinds. Requests flow client → server, responses server → client.
+const (
+	// FrameAssign requests one assignment: model, session, row (exactly one
+	// of model/session non-empty). Several FrameAssigns in one stream are the
+	// pipelined form of N sequential /assign calls: each is answered by one
+	// FrameResult or FrameError, in order.
+	FrameAssign byte = 'A'
+	// FrameBatchStart opens a batch: model name. Followed by FrameRows
+	// chunks and closed by FrameEnd.
+	FrameBatchStart byte = 'B'
+	// FrameRows carries a chunk of rows of a batch.
+	FrameRows byte = 'R'
+	// FrameEnd closes a request or response stream explicitly.
+	FrameEnd byte = 'E'
+	// FrameResult answers one FrameAssign: cluster, similarity, epoch,
+	// encoding.
+	FrameResult byte = 'a'
+	// FrameBatchInfo opens a batch response: model name and snapshot epoch
+	// (constant across the batch, exactly like the JSON response's top-level
+	// epoch).
+	FrameBatchInfo byte = 'b'
+	// FrameResults answers one FrameRows chunk with its assignments.
+	FrameResults byte = 'r'
+	// FrameError carries an in-band structured error: code and message (the
+	// binary twin of the JSON error envelope).
+	FrameError byte = '!'
+)
+
+// ErrNotWire is returned when a stream does not start with the wire magic.
+var ErrNotWire = errors.New("model: not an MCDC wire stream (bad magic)")
+
+// WireVersionError reports a wire stream written under an incompatible
+// protocol version.
+type WireVersionError struct {
+	Got, Want int
+}
+
+func (e *WireVersionError) Error() string {
+	return fmt.Sprintf("model: wire protocol version %d, this build speaks version %d — upgrade one side or fall back to JSON", e.Got, e.Want)
+}
+
+// WriteWireHeader begins a wire stream: magic plus version byte.
+func WriteWireHeader(w io.Writer) error {
+	if _, err := w.Write(wireMagic); err != nil {
+		return fmt.Errorf("model: write wire header: %w", err)
+	}
+	if _, err := w.Write([]byte{WireVersion}); err != nil {
+		return fmt.Errorf("model: write wire header: %w", err)
+	}
+	return nil
+}
+
+// ReadWireHeader verifies the magic and version of a wire stream. Like the
+// snapshot envelope, the version check happens before any frame is decoded.
+func ReadWireHeader(r io.Reader) error {
+	hdr := make([]byte, len(wireMagic)+1)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrNotWire
+		}
+		return fmt.Errorf("model: read wire header: %w", err)
+	}
+	for i := range wireMagic {
+		if hdr[i] != wireMagic[i] {
+			return ErrNotWire
+		}
+	}
+	if v := int(hdr[len(wireMagic)]); v != WireVersion {
+		return &WireVersionError{Got: v, Want: WireVersion}
+	}
+	return nil
+}
+
+// WriteFrame emits one frame: kind, uvarint payload length, payload.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = kind
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return fmt.Errorf("model: write frame: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("model: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame. A clean end of stream returns io.EOF; a stream
+// truncated mid-frame returns io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader) (kind byte, payload []byte, err error) {
+	kind, err = br.ReadByte()
+	if err != nil {
+		return 0, nil, err // io.EOF = clean stream end
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("model: read frame length: %w", err)
+	}
+	if size > MaxFramePayload {
+		return 0, nil, fmt.Errorf("model: frame payload of %d bytes exceeds the %d limit", size, MaxFramePayload)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("model: read frame payload: %w", err)
+	}
+	return kind, payload, nil
+}
+
+// ---- payload scalar encoding ----
+
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendInt(b []byte, v int) []byte { return binary.AppendVarint(b, int64(v)) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendInts(b []byte, v []int) []byte {
+	b = appendUint(b, uint64(len(v)))
+	for _, x := range v {
+		b = appendInt(b, x)
+	}
+	return b
+}
+
+// wireCursor decodes payload scalars in sequence, latching the first error.
+type wireCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *wireCursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("model: truncated wire payload at %s", what)
+	}
+}
+
+func (c *wireCursor) uint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *wireCursor) int(what string) int {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.b = c.b[n:]
+	return int(v)
+}
+
+func (c *wireCursor) str(what string) string {
+	n := c.uint(what)
+	if c.err != nil {
+		return ""
+	}
+	if uint64(len(c.b)) < n {
+		c.fail(what)
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+func (c *wireCursor) float(what string) float64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 8 {
+		c.fail(what)
+		return 0
+	}
+	f := math.Float64frombits(binary.BigEndian.Uint64(c.b))
+	c.b = c.b[8:]
+	return f
+}
+
+func (c *wireCursor) ints(what string) []int {
+	n := c.uint(what)
+	if c.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if n > uint64(len(c.b)) { // each int takes ≥ 1 byte — cheap pre-guard
+		c.fail(what)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.int(what)
+	}
+	if c.err != nil {
+		return nil
+	}
+	return out
+}
+
+// done returns the latched error, also flagging trailing garbage — a frame
+// payload must be consumed exactly.
+func (c *wireCursor) done() error {
+	if c.err == nil && len(c.b) != 0 {
+		return fmt.Errorf("model: %d trailing bytes in wire payload", len(c.b))
+	}
+	return c.err
+}
+
+// ---- message payloads ----
+
+// AppendAssignRequest encodes a FrameAssign payload: target model or session
+// (exactly one non-empty, enforced by the server like the JSON path) and the
+// row.
+func AppendAssignRequest(b []byte, modelName, session string, row []int) []byte {
+	b = appendString(b, modelName)
+	b = appendString(b, session)
+	return appendInts(b, row)
+}
+
+// DecodeAssignRequest decodes a FrameAssign payload.
+func DecodeAssignRequest(payload []byte) (modelName, session string, row []int, err error) {
+	c := wireCursor{b: payload}
+	modelName = c.str("assign model")
+	session = c.str("assign session")
+	row = c.ints("assign row")
+	return modelName, session, row, c.done()
+}
+
+// AppendResult encodes a FrameResult payload: one assignment plus the
+// snapshot epoch it was made under. A nil Encoding (session assignments)
+// round-trips as nil, matching the JSON response's omitted field.
+func AppendResult(b []byte, a Assignment, epoch int) []byte {
+	b = appendInt(b, a.Cluster)
+	b = appendFloat(b, a.Similarity)
+	b = appendInt(b, epoch)
+	return appendInts(b, a.Encoding)
+}
+
+// DecodeResult decodes a FrameResult payload.
+func DecodeResult(payload []byte) (a Assignment, epoch int, err error) {
+	c := wireCursor{b: payload}
+	a.Cluster = c.int("result cluster")
+	a.Similarity = c.float("result similarity")
+	epoch = c.int("result epoch")
+	a.Encoding = c.ints("result encoding")
+	return a, epoch, c.done()
+}
+
+// AppendBatchStart encodes a FrameBatchStart payload: the model name.
+func AppendBatchStart(b []byte, modelName string) []byte {
+	return appendString(b, modelName)
+}
+
+// DecodeBatchStart decodes a FrameBatchStart payload.
+func DecodeBatchStart(payload []byte) (string, error) {
+	c := wireCursor{b: payload}
+	name := c.str("batch model")
+	return name, c.done()
+}
+
+// AppendBatchInfo encodes a FrameBatchInfo payload: model name and epoch.
+func AppendBatchInfo(b []byte, modelName string, epoch int) []byte {
+	b = appendString(b, modelName)
+	return appendInt(b, epoch)
+}
+
+// DecodeBatchInfo decodes a FrameBatchInfo payload.
+func DecodeBatchInfo(payload []byte) (modelName string, epoch int, err error) {
+	c := wireCursor{b: payload}
+	modelName = c.str("batch info model")
+	epoch = c.int("batch info epoch")
+	return modelName, epoch, c.done()
+}
+
+// AppendRows encodes a FrameRows payload: a chunk of rows.
+func AppendRows(b []byte, rows [][]int) []byte {
+	b = appendUint(b, uint64(len(rows)))
+	for _, row := range rows {
+		b = appendInts(b, row)
+	}
+	return b
+}
+
+// DecodeRows decodes a FrameRows payload.
+func DecodeRows(payload []byte) ([][]int, error) {
+	c := wireCursor{b: payload}
+	n := c.uint("rows count")
+	if c.err != nil {
+		return nil, c.done()
+	}
+	if n > uint64(len(payload)) { // ≥ 1 byte per row — corrupt-count guard
+		return nil, fmt.Errorf("model: rows chunk claims %d rows in %d bytes", n, len(payload))
+	}
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = c.ints("row")
+		if c.err != nil {
+			break
+		}
+	}
+	return rows, c.done()
+}
+
+// AppendResults encodes a FrameResults payload: the assignments of one rows
+// chunk. The batch's epoch lives in FrameBatchInfo, so per-assignment payload
+// is cluster, similarity, and encoding.
+func AppendResults(b []byte, as []Assignment) []byte {
+	b = appendUint(b, uint64(len(as)))
+	for _, a := range as {
+		b = appendInt(b, a.Cluster)
+		b = appendFloat(b, a.Similarity)
+		b = appendInts(b, a.Encoding)
+	}
+	return b
+}
+
+// DecodeResults decodes a FrameResults payload, appending to dst.
+func DecodeResults(payload []byte, dst []Assignment) ([]Assignment, error) {
+	c := wireCursor{b: payload}
+	n := c.uint("results count")
+	if c.err != nil {
+		return dst, c.done()
+	}
+	if n > uint64(len(payload)) {
+		return dst, fmt.Errorf("model: results chunk claims %d assignments in %d bytes", n, len(payload))
+	}
+	for i := uint64(0); i < n; i++ {
+		var a Assignment
+		a.Cluster = c.int("result cluster")
+		a.Similarity = c.float("result similarity")
+		a.Encoding = c.ints("result encoding")
+		if c.err != nil {
+			break
+		}
+		dst = append(dst, a)
+	}
+	return dst, c.done()
+}
+
+// AppendError encodes a FrameError payload: stable error code plus message —
+// the in-band twin of the HTTP JSON error envelope.
+func AppendError(b []byte, code, message string) []byte {
+	b = appendString(b, code)
+	return appendString(b, message)
+}
+
+// DecodeError decodes a FrameError payload.
+func DecodeError(payload []byte) (code, message string, err error) {
+	c := wireCursor{b: payload}
+	code = c.str("error code")
+	message = c.str("error message")
+	return code, message, c.done()
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the serving path's backpressure valve: a bounded in-flight
+// slot pool plus a bounded wait queue in front of it. Up to MaxInFlight
+// requests execute concurrently; the next QueueDepth wait their turn; anyone
+// beyond that is shed immediately with 429 + Retry-After. Overload therefore
+// degrades predictably — bounded concurrency bounds the live request memory
+// (bodies, batch buffers, session page-ins), and the shed path costs one
+// atomic and a tiny JSON write — instead of letting unbounded goroutines OOM
+// the session pool. Accepted requests are never dropped: once a slot is
+// acquired the request runs to completion.
+type admission struct {
+	slots      chan struct{} // capacity = MaxInFlight
+	queueMax   int64
+	waiting    atomic.Int64 // requests parked in the wait queue
+	shed       atomic.Int64 // requests rejected with 429
+	admitted   atomic.Int64 // requests that acquired a slot
+	retryAfter time.Duration
+}
+
+// newAdmission builds the valve; maxInFlight ≤ 0 disables admission control
+// (the constructor returns nil and the middleware passes through).
+func newAdmission(maxInFlight, queueDepth int, retryAfter time.Duration) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &admission{
+		slots:      make(chan struct{}, maxInFlight),
+		queueMax:   int64(queueDepth),
+		retryAfter: retryAfter,
+	}
+}
+
+// admitOutcome reports how acquire resolved.
+type admitOutcome int
+
+const (
+	admitted admitOutcome = iota
+	shedOverload
+	shedCanceled // caller went away while queued — not an overload verdict
+)
+
+// acquire takes an in-flight slot, waiting in the bounded queue when all
+// slots are busy. It sheds instead of waiting once the queue is full, and
+// abandons the wait if ctx ends first (a disconnected client must not hold a
+// queue position).
+func (a *admission) acquire(ctx context.Context) admitOutcome {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return admitted
+	default:
+	}
+	if a.waiting.Add(1) > a.queueMax {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return shedOverload
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return admitted
+	case <-ctx.Done():
+		return shedCanceled
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// depth reports the live queue length (waiting requests).
+func (a *admission) depth() int64 { return a.waiting.Load() }
+
+// inflight reports the occupied slots.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// retryAfterSeconds is the Retry-After header value: whole seconds, rounded
+// up, at least 1 (the header speaks integer seconds).
+func (a *admission) retryAfterSeconds() int {
+	s := int((a.retryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// admit wraps an assignment handler with the valve. Non-assignment endpoints
+// (health, metrics, model management) stay outside it: an overloaded daemon
+// must remain observable and operable.
+func (s *Server) admit(fn http.HandlerFunc) http.HandlerFunc {
+	if s.admission == nil {
+		return fn
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch s.admission.acquire(r.Context()) {
+		case shedOverload:
+			w.Header().Set("Retry-After", strconv.Itoa(s.admission.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, codeOverloaded,
+				"server at capacity (%d in flight, %d queued); retry after %ds",
+				cap(s.admission.slots), s.admission.queueMax, s.admission.retryAfterSeconds())
+			return
+		case shedCanceled:
+			// The client is gone; any status is unobservable. 503 keeps the
+			// error counters honest without claiming overload.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		defer s.admission.release()
+		fn(w, r)
+	}
+}

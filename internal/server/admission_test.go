@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmissionPrimitive exercises the valve directly: slots fill, the
+// queue absorbs the next wave, overflow sheds, and a canceled waiter leaves
+// without being counted as overload.
+func TestAdmissionPrimitive(t *testing.T) {
+	a := newAdmission(1, 1, 0)
+	if got := a.acquire(context.Background()); got != admitted {
+		t.Fatalf("first acquire: %v", got)
+	}
+
+	// Second caller parks in the queue.
+	queued := make(chan admitOutcome, 1)
+	go func() { queued <- a.acquire(context.Background()) }()
+	waitFor(t, func() bool { return a.depth() == 1 })
+
+	// Third caller overflows the queue and sheds immediately.
+	if got := a.acquire(context.Background()); got != shedOverload {
+		t.Fatalf("overflow acquire: %v", got)
+	}
+	if a.shed.Load() != 1 {
+		t.Fatalf("shed count %d, want 1", a.shed.Load())
+	}
+
+	// Releasing the slot admits the queued caller — it was never dropped.
+	a.release()
+	if got := <-queued; got != admitted {
+		t.Fatalf("queued acquire resolved %v, want admitted", got)
+	}
+	a.release()
+
+	// A waiter whose context dies leaves the queue without shedding.
+	if a.acquire(context.Background()) != admitted {
+		t.Fatal("reacquire")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan admitOutcome, 1)
+	go func() { done <- a.acquire(ctx) }()
+	waitFor(t, func() bool { return a.depth() == 1 })
+	cancel()
+	if got := <-done; got != shedCanceled {
+		t.Fatalf("canceled acquire resolved %v", got)
+	}
+	if a.shed.Load() != 1 {
+		t.Fatalf("cancel must not count as shed; shed=%d", a.shed.Load())
+	}
+	a.release()
+	if a.depth() != 0 || a.inflight() != 0 {
+		t.Fatalf("valve not drained: depth=%d inflight=%d", a.depth(), a.inflight())
+	}
+}
+
+// TestAdmissionShedsWith429 pins the overload contract end to end: with the
+// slot pool full and the queue full, an assign answers 429 with Retry-After
+// and the overloaded envelope code; the queued request is admitted and
+// completes once the slot frees; and /metrics surfaces the shed and the
+// queue depth.
+func TestAdmissionShedsWith429(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 7)
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only in-flight slot directly — deterministic, no timing
+	// games with a slow request.
+	s.admission.slots <- struct{}{}
+
+	// One request parks in the queue...
+	type reply struct {
+		status int
+		data   []byte
+	}
+	queued := make(chan reply, 1)
+	go func() {
+		resp, data := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[0]})
+		queued <- reply{resp.StatusCode, data}
+	}()
+	waitFor(t, func() bool { return s.admission.depth() == 1 })
+
+	// ...metrics see it waiting...
+	_, mdata := get(t, ts.URL+"/v1/metrics")
+	if want := "mcdcd_queue_depth 1"; !contains(mdata, want) {
+		t.Fatalf("metrics missing %q:\n%s", want, mdata)
+	}
+
+	// ...and the next request sheds: 429, Retry-After, stable code.
+	resp, data := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[1]})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+	var env errorResponse
+	if err := json.Unmarshal(data, &env); err != nil || env.Code != codeOverloaded {
+		t.Fatalf("shed envelope %s (err %v), want code %q", data, err, codeOverloaded)
+	}
+
+	// Freeing the slot admits the queued request — accepted work is never
+	// dropped by overload.
+	<-s.admission.slots
+	r := <-queued
+	if r.status != http.StatusOK {
+		t.Fatalf("queued request finished %d: %s", r.status, r.data)
+	}
+
+	_, mdata = get(t, ts.URL+"/v1/metrics")
+	for _, want := range []string{"mcdcd_shed_total 1", "mcdcd_queue_depth 0", "mcdcd_inflight 0"} {
+		if !contains(mdata, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mdata)
+		}
+	}
+}
+
+// TestAdmissionHammer mixes overload-level concurrency with hot swaps and
+// session eviction under -race: every request must resolve as either a
+// success or a clean 429 — never a dropped or corrupted response.
+func TestAdmissionHammer(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 11)
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, QueueDepth: 2, SessionShards: 4})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(2)
+	go func() { // hot-swap churn
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.AddModel("m", snap)
+			}
+		}
+	}()
+	go func() { // session churn + eviction
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				id := fmt.Sprintf("hammer-%d", i%8)
+				_ = s.sessions.create(id, snap.Cardinalities, 0, 1, 1)
+				if i%3 == 0 {
+					s.sessions.remove(id)
+				}
+				if i%17 == 0 {
+					s.SweepSessions(time.Nanosecond)
+				}
+			}
+		}
+	}()
+
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				resp, data := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[(w*40+i)%len(rows)]})
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var a assignResponse
+					if err := json.Unmarshal(data, &a); err != nil {
+						t.Errorf("accepted response corrupted: %v (%s)", err, data)
+					}
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					var env errorResponse
+					if err := json.Unmarshal(data, &env); err != nil || env.Code != codeOverloaded {
+						t.Errorf("shed without envelope: %s", data)
+					}
+					shed.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, data)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	if total := ok.Load() + shed.Load() + other.Load(); total != 8*40 {
+		t.Fatalf("accounted %d/%d requests", total, 8*40)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("overload starved every request; admission must keep serving")
+	}
+	if s.admission.depth() != 0 || s.admission.inflight() != 0 {
+		t.Fatalf("valve not drained: depth=%d inflight=%d", s.admission.depth(), s.admission.inflight())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func contains(data []byte, s string) bool { return strings.Contains(string(data), s) }

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// The v1 error contract: every error response is a structured envelope
+//
+//	{"error": "<human message>", "code": "<stable code>"}
+//
+// with a code drawn from the closed table below. Messages are for humans and
+// may change; codes are the machine contract — clients (including the public
+// client package) branch on them, so adding a code is additive but renaming
+// or removing one is a breaking API change.
+const (
+	// codeBadRequest: the request is malformed — bad JSON, bad wire frames,
+	// a row of the wrong width, conflicting or missing target fields.
+	codeBadRequest = "bad_request"
+	// codeUnknownModel: the named model is not in the registry.
+	codeUnknownModel = "unknown_model"
+	// codeUnknownSession: the named session exists neither in memory nor as
+	// a checkpoint on disk.
+	codeUnknownSession = "unknown_session"
+	// codeConflict: the resource exists already (session id taken).
+	codeConflict = "conflict"
+	// codeVersionMismatch: a snapshot file or wire stream carries an
+	// incompatible format-version byte.
+	codeVersionMismatch = "version_mismatch"
+	// codeOverloaded: admission control shed the request; retry after the
+	// Retry-After header's delay.
+	codeOverloaded = "overloaded"
+	// codeBadGateway: a gateway could not complete the request against its
+	// backends (transport failure or a malformed backend answer — backend
+	// HTTP errors themselves are relayed unchanged, keeping their own code).
+	codeBadGateway = "bad_gateway"
+)
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the structured error envelope with the given stable code.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}

@@ -33,6 +33,13 @@ import (
 //	GET  /metrics       backend counters summed per series + gateway-local ones
 //	GET  /ring          placement debug: members, health, ?key= lookup
 //
+// Routes are served under /v1 with the pre-versioning paths as aliases,
+// matching the backends. The assignment routes also speak the binary frame
+// protocol (gateway_wire.go): frames are routed per row exactly like JSON
+// traffic, and the merged response is byte-identical to a solo backend's.
+// A backend 429 (admission shed) relays to the caller unchanged — including
+// Retry-After — and increments a per-backend shed counter in /metrics.
+//
 // The gateway holds no model or session state itself: backends can restart
 // (resuming their sessions from -state-dir) without the gateway noticing
 // beyond failed requests during the gap.
@@ -48,7 +55,8 @@ type Gateway struct {
 	mux    *http.ServeMux
 	httpm  *httpMetrics
 	start  time.Time
-	up     map[string]*atomic.Bool // health-check verdict per backend
+	up     map[string]*atomic.Bool  // health-check verdict per backend
+	sheds  map[string]*atomic.Int64 // 429s observed per backend (admission sheds)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -103,6 +111,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		httpm:    newHTTPMetrics(),
 		start:    time.Now(),
 		up:       make(map[string]*atomic.Bool, len(backends)),
+		sheds:    make(map[string]*atomic.Int64, len(backends)),
 		stop:     make(chan struct{}),
 	}
 	g.ring.Add(backends...)
@@ -110,6 +119,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		up := &atomic.Bool{}
 		up.Store(true)
 		g.up[b] = up
+		g.sheds[b] = &atomic.Int64{}
 	}
 	g.routes()
 	if cfg.HealthEvery > 0 {
@@ -138,8 +148,14 @@ func (g *Gateway) logf(format string, args ...any) {
 }
 
 func (g *Gateway) routes() {
+	// Mirrors Server.handle: the canonical /v1 route plus the pre-versioning
+	// alias, both behind one counter labeled by the canonical pattern.
 	handle := func(pattern string, fn http.HandlerFunc) {
-		g.mux.HandleFunc(pattern, g.httpm.instrument(pattern, fn))
+		method, path, _ := strings.Cut(pattern, " ")
+		canonical := method + " /v1" + path
+		h := g.httpm.instrument(canonical, fn)
+		g.mux.HandleFunc(canonical, h)
+		g.mux.HandleFunc(pattern, h)
 	}
 	handle("GET /healthz", g.handleHealthz)
 	handle("GET /metrics", g.handleMetrics)
@@ -147,11 +163,29 @@ func (g *Gateway) routes() {
 	handle("GET /models", g.handleListModels)
 	handle("POST /models", g.handleBroadcastModels)
 	handle("DELETE /models/{name}", g.handleDeleteModel)
-	handle("POST /assign", g.handleAssign)
-	handle("POST /assign/batch", g.handleAssignBatch)
+	handle("POST /assign", g.dispatchAssign)
+	handle("POST /assign/batch", g.dispatchAssignBatch)
 	handle("POST /sessions", g.handleCreateSession)
 	handle("DELETE /sessions/{id}", g.handleDeleteSession)
 	handle("POST /checkpoint", g.handleCheckpoint)
+}
+
+// dispatchAssign selects the binary frame path by Content-Type, like the
+// backend routes do.
+func (g *Gateway) dispatchAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == WireContentType {
+		g.handleAssignWire(w, r)
+		return
+	}
+	g.handleAssign(w, r)
+}
+
+func (g *Gateway) dispatchAssignBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == WireContentType {
+		g.handleAssignBatchWire(w, r)
+		return
+	}
+	g.handleAssignBatch(w, r)
 }
 
 // ---- key derivation ----
@@ -179,50 +213,76 @@ func rowKey(model string, row []int) string {
 
 // ---- proxying ----
 
-// do performs one backend request and returns the response status, body, and
-// content type.
-func (g *Gateway) do(method, backend, path string, body []byte) (status int, data []byte, ctype string, err error) {
-	return g.doWith(g.client, method, backend, path, body)
+// do performs one backend JSON request and returns the response status,
+// body, and headers.
+func (g *Gateway) do(method, backend, path string, body []byte) (status int, data []byte, hdr http.Header, err error) {
+	return g.doCT(g.client, method, backend, path, body, "application/json")
 }
 
-func (g *Gateway) doWith(client *http.Client, method, backend, path string, body []byte) (status int, data []byte, ctype string, err error) {
+func (g *Gateway) doWith(client *http.Client, method, backend, path string, body []byte) (status int, data []byte, hdr http.Header, err error) {
+	return g.doCT(client, method, backend, path, body, "application/json")
+}
+
+func (g *Gateway) doCT(client *http.Client, method, backend, path string, body []byte, ctype string) (status int, data []byte, hdr http.Header, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, "http://"+backend+path, rd)
 	if err != nil {
-		return 0, nil, "", err
+		return 0, nil, nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", ctype)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, "", err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err = io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
-		return 0, nil, "", err
+		return 0, nil, nil, err
 	}
-	return resp.StatusCode, data, resp.Header.Get("Content-Type"), nil
+	g.noteStatus(backend, resp.StatusCode)
+	return resp.StatusCode, data, resp.Header, nil
 }
 
-// forward proxies one request to a backend and relays status, content type,
-// and body bytes verbatim — the routed single-backend paths answer
-// byte-identically to hitting that backend directly.
-func (g *Gateway) forward(w http.ResponseWriter, method, backend, path string, body []byte) {
-	status, data, ctype, err := g.do(method, backend, path, body)
-	if err != nil {
-		writeError(w, http.StatusBadGateway, "backend %s: %v", backend, err)
-		return
+// noteStatus folds a backend verdict into the gateway's per-backend
+// counters: a 429 means that backend's admission valve shed the request.
+func (g *Gateway) noteStatus(backend string, status int) {
+	if status == http.StatusTooManyRequests {
+		if c, ok := g.sheds[backend]; ok {
+			c.Add(1)
+		}
 	}
-	if ctype != "" {
-		w.Header().Set("Content-Type", ctype)
+}
+
+// relay writes a backend verdict through unchanged: status, Content-Type,
+// Retry-After (the backpressure signal a shed caller must see), and body
+// bytes verbatim — so a backend's 429 reaches the caller exactly as if it
+// had hit that backend directly.
+func relay(w http.ResponseWriter, status int, hdr http.Header, data []byte) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(status)
 	_, _ = w.Write(data)
+}
+
+// forward proxies one request to a backend and relays the response verbatim
+// — the routed single-backend paths answer byte-identically to hitting that
+// backend directly.
+func (g *Gateway) forward(w http.ResponseWriter, method, backend, path string, body []byte) {
+	status, data, hdr, err := g.do(method, backend, path, body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", backend, err)
+		return
+	}
+	relay(w, status, hdr, data)
 }
 
 // readBody slurps a request body (bounded), reporting decode-style errors
@@ -230,7 +290,7 @@ func (g *Gateway) forward(w http.ResponseWriter, method, backend, path string, b
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return nil, false
 	}
 	return data, true
@@ -245,7 +305,7 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 	}
 	var req assignRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	var key string
@@ -255,10 +315,10 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 	case req.Model != "":
 		key = rowKey(req.Model, req.Row)
 	default:
-		writeError(w, http.StatusBadRequest, "request names neither a model nor a session")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "request names neither a model nor a session")
 		return
 	}
-	g.forward(w, http.MethodPost, g.ring.Get(key), "/assign", raw)
+	g.forward(w, http.MethodPost, g.ring.Get(key), "/v1/assign", raw)
 }
 
 func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -268,17 +328,17 @@ func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	var req sessionRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	// An empty session id routes like any other key; the owning backend's
 	// validation rejects it with the same error a direct client would see.
-	g.forward(w, http.MethodPost, g.ring.Get(sessionKey(req.Session)), "/sessions", raw)
+	g.forward(w, http.MethodPost, g.ring.Get(sessionKey(req.Session)), "/v1/sessions", raw)
 }
 
 func (g *Gateway) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	g.forward(w, http.MethodDelete, g.ring.Get(sessionKey(id)), "/sessions/"+id, nil)
+	g.forward(w, http.MethodDelete, g.ring.Get(sessionKey(id)), "/v1/sessions/"+id, nil)
 }
 
 // handleAssignBatch scatters a batch across the fleet by row key and gathers
@@ -293,11 +353,11 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req batchRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Rows) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty batch")
 		return
 	}
 	// Group row indices by owning backend.
@@ -308,7 +368,7 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(groups) == 1 {
 		for b := range groups {
-			g.forward(w, http.MethodPost, b, "/assign/batch", raw)
+			g.forward(w, http.MethodPost, b, "/v1/assign/batch", raw)
 			return
 		}
 	}
@@ -322,6 +382,7 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	type result struct {
 		status int
 		data   []byte
+		hdr    http.Header
 		err    error
 		resp   batchResponse
 	}
@@ -339,7 +400,7 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 			body, err := json.Marshal(sub)
 			res := &result{err: err}
 			if err == nil {
-				res.status, res.data, _, res.err = g.do(http.MethodPost, b, "/assign/batch", body)
+				res.status, res.data, res.hdr, res.err = g.do(http.MethodPost, b, "/v1/assign/batch", body)
 			}
 			if res.err == nil && res.status == http.StatusOK {
 				res.err = json.Unmarshal(res.data, &res.resp)
@@ -355,19 +416,18 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	for _, b := range order {
 		res := results[b]
 		if res.err != nil {
-			writeError(w, http.StatusBadGateway, "backend %s: %v", b, res.err)
+			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
 			return
 		}
 		if res.status != http.StatusOK {
-			// Relay the first failing backend's verdict (sorted order keeps
-			// the precedence deterministic).
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(res.status)
-			_, _ = w.Write(res.data)
+			// Relay the first failing backend's verdict verbatim — including
+			// a shed's Retry-After (sorted order keeps the precedence
+			// deterministic).
+			relay(w, res.status, res.hdr, res.data)
 			return
 		}
 		if len(res.resp.Assignments) != len(groups[b]) {
-			writeError(w, http.StatusBadGateway, "backend %s returned %d assignments for %d rows", b, len(res.resp.Assignments), len(groups[b]))
+			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s returned %d assignments for %d rows", b, len(res.resp.Assignments), len(groups[b]))
 			return
 		}
 		for j, i := range groups[b] {
@@ -416,7 +476,7 @@ func (g *Gateway) relayBroadcast(w http.ResponseWriter, statuses []int, bodies [
 		}
 	}
 	if len(failures) > 0 {
-		writeError(w, http.StatusBadGateway, "%d/%d backends failed: %s", len(failures), len(g.backends), strings.Join(failures, "; "))
+		writeError(w, http.StatusBadGateway, codeBadGateway, "%d/%d backends failed: %s", len(failures), len(g.backends), strings.Join(failures, "; "))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -429,17 +489,17 @@ func (g *Gateway) handleBroadcastModels(w http.ResponseWriter, r *http.Request) 
 	if !ok {
 		return
 	}
-	statuses, bodies, errs := g.broadcast(http.MethodPost, "/models", raw)
+	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/models", raw)
 	g.relayBroadcast(w, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
-	statuses, bodies, errs := g.broadcast(http.MethodDelete, "/models/"+r.PathValue("name"), nil)
+	statuses, bodies, errs := g.broadcast(http.MethodDelete, "/v1/models/"+r.PathValue("name"), nil)
 	g.relayBroadcast(w, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	statuses, bodies, errs := g.broadcast(http.MethodPost, "/checkpoint", nil)
+	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/checkpoint", nil)
 	g.relayBroadcast(w, statuses, bodies, errs)
 }
 
@@ -447,11 +507,11 @@ func (g *Gateway) handleListModels(w http.ResponseWriter, r *http.Request) {
 	// Fleet-identical state: any healthy backend answers for all.
 	for _, b := range g.backends {
 		if g.up[b].Load() {
-			g.forward(w, http.MethodGet, b, "/models", nil)
+			g.forward(w, http.MethodGet, b, "/v1/models", nil)
 			return
 		}
 	}
-	g.forward(w, http.MethodGet, g.backends[0], "/models", nil)
+	g.forward(w, http.MethodGet, g.backends[0], "/v1/models", nil)
 }
 
 // ---- health and metrics ----
@@ -472,7 +532,7 @@ func (g *Gateway) healthLoop() {
 				wg.Add(1)
 				go func(b string) {
 					defer wg.Done()
-					status, _, _, err := g.doWith(g.probe, http.MethodGet, b, "/healthz", nil)
+					status, _, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil)
 					healthy := err == nil && status == http.StatusOK
 					if was := g.up[b].Swap(healthy); was != healthy {
 						if healthy {
@@ -510,7 +570,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
-			status, data, _, err := g.doWith(g.probe, http.MethodGet, b, "/healthz", nil)
+			status, data, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil)
 			if err == nil && status == http.StatusOK {
 				probed[i].Up = true
 				var inner struct {
@@ -568,7 +628,7 @@ func (g *Gateway) handleRing(w http.ResponseWriter, r *http.Request) {
 // handleMetrics sums every backend's Prometheus series and appends the
 // gateway's own counters, so one scrape sees fleet-wide traffic.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	_, bodies, errs := g.broadcast(http.MethodGet, "/metrics", nil)
+	_, bodies, errs := g.broadcast(http.MethodGet, "/v1/metrics", nil)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	reachable := make([][]byte, 0, len(bodies))
 	for i := range bodies {
@@ -584,6 +644,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			v = 1
 		}
 		fmt.Fprintf(w, "mcdcd_gateway_backend_up{backend=%q} %d\n", b, v)
+	}
+	fmt.Fprintf(w, "# HELP mcdcd_gateway_backend_sheds_total Backend 429 responses observed by the gateway, per backend.\n# TYPE mcdcd_gateway_backend_sheds_total counter\n")
+	for _, b := range g.backends {
+		fmt.Fprintf(w, "mcdcd_gateway_backend_sheds_total{backend=%q} %d\n", b, g.sheds[b].Load())
 	}
 	g.httpm.write(w, "mcdcd_gateway_http_requests_total", "mcdcd_gateway_http_errors_total")
 	fmt.Fprintf(w, "# HELP mcdcd_gateway_uptime_seconds Gateway uptime.\n# TYPE mcdcd_gateway_uptime_seconds gauge\nmcdcd_gateway_uptime_seconds %g\n", time.Since(g.start).Seconds())

@@ -200,8 +200,8 @@ func TestGatewayBroadcastAndAggregation(t *testing.T) {
 	if !strings.Contains(string(mdata), `mcdcd_gateway_backend_up{backend=`) {
 		t.Error("gateway metrics missing per-backend up gauge")
 	}
-	if !strings.Contains(string(mdata), `mcdcd_gateway_http_requests_total{endpoint="POST /assign"} 40`) {
-		t.Error("gateway metrics missing per-endpoint request counter")
+	if !strings.Contains(string(mdata), `mcdcd_gateway_http_requests_total{endpoint="POST /v1/assign"} 40`) {
+		t.Error("gateway metrics missing canonical v1-labeled per-endpoint request counter")
 	}
 
 	// Healthz: all up → ok; one backend down → degraded + 503, and the

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"mcdc/internal/model"
+)
+
+// Binary frame routing. The gateway routes binary traffic with the same
+// keys as JSON — sessionKey / rowKey per assignment — so a row lands on the
+// same backend regardless of protocol, and the deterministic frame codec
+// means the merged response is byte-identical to a solo backend serving the
+// whole stream. Two fast paths keep the common cases cheap: when every
+// frame routes to one backend, the raw request bytes forward and the raw
+// response bytes relay untouched.
+
+// wireFrame is one parsed frame of a buffered stream.
+type wireFrame struct {
+	kind    byte
+	payload []byte
+}
+
+// parseWireStream validates the header and splits a complete wire stream
+// into frames. The payloads alias data.
+func parseWireStream(data []byte) ([]wireFrame, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	if err := model.ReadWireHeader(br); err != nil {
+		return nil, err
+	}
+	var frames []wireFrame
+	for {
+		kind, payload, err := model.ReadFrame(br)
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, wireFrame{kind: kind, payload: payload})
+	}
+}
+
+// handleAssignWire routes a pipelined binary assign stream. Each 'A' frame
+// is routed independently (session id or model+row key, exactly like a JSON
+// /assign); per-backend sub-streams fan out concurrently and the response
+// frames merge back into request order. A backend transport failure is 502;
+// a backend non-200 (e.g. an admission shed) relays verbatim in sorted
+// backend order, Retry-After included.
+func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	frames, err := parseWireStream(raw)
+	if err != nil {
+		writeWireHeaderError(w, err)
+		return
+	}
+	// Route every frame. A frame the gateway itself must answer (undecodable
+	// payload, no routing key) gets its error frame now and occupies its
+	// slot in the merged response — the same answer, byte for byte, the
+	// owning backend would have produced.
+	type slot struct {
+		backend string
+		reply   wireFrame // pre-filled for gateway-answered frames
+		local   bool
+	}
+	slots := make([]slot, len(frames))
+	groups := make(map[string][]int)
+	for i, f := range frames {
+		if f.kind != model.FrameAssign {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "unexpected frame kind %q in assign stream", f.kind)
+			return
+		}
+		modelName, session, row, derr := model.DecodeAssignRequest(f.payload)
+		switch {
+		case derr != nil:
+			slots[i] = slot{local: true, reply: wireFrame{model.FrameError, model.AppendError(nil, codeBadRequest, derr.Error())}}
+		case session != "":
+			b := g.ring.Get(sessionKey(session))
+			slots[i] = slot{backend: b}
+			groups[b] = append(groups[b], i)
+		case modelName != "":
+			b := g.ring.Get(rowKey(modelName, row))
+			slots[i] = slot{backend: b}
+			groups[b] = append(groups[b], i)
+		default:
+			slots[i] = slot{local: true, reply: wireFrame{model.FrameError, model.AppendError(nil, codeBadRequest, "request names neither a model nor a session")}}
+		}
+	}
+	local := false
+	for i := range slots {
+		if slots[i].local {
+			local = true
+			break
+		}
+	}
+	if len(groups) == 1 && !local {
+		for b := range groups {
+			g.forwardWire(w, b, "/v1/assign", raw)
+			return
+		}
+	}
+
+	order := sortedKeys(groups)
+	type result struct {
+		status int
+		data   []byte
+		hdr    http.Header
+		frames []wireFrame
+		err    error
+	}
+	results := make(map[string]*result, len(order))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, b := range order {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			var body bytes.Buffer
+			_ = model.WriteWireHeader(&body)
+			for _, i := range groups[b] {
+				_ = model.WriteFrame(&body, model.FrameAssign, frames[i].payload)
+			}
+			res := &result{}
+			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType)
+			if res.err == nil && res.status == http.StatusOK {
+				res.frames, res.err = parseWireStream(res.data)
+				if res.err == nil && len(res.frames) != len(groups[b]) {
+					res.err = fmt.Errorf("%d response frames for %d assigns", len(res.frames), len(groups[b]))
+				}
+			}
+			mu.Lock()
+			results[b] = res
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+
+	for _, b := range order {
+		res := results[b]
+		if res.err != nil {
+			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+			return
+		}
+		if res.status != http.StatusOK {
+			relay(w, res.status, res.hdr, res.data)
+			return
+		}
+		for j, i := range groups[b] {
+			slots[i].reply = res.frames[j]
+		}
+	}
+	w.Header().Set("Content-Type", WireContentType)
+	bw := bufio.NewWriter(w)
+	_ = model.WriteWireHeader(bw)
+	for i := range slots {
+		_ = model.WriteFrame(bw, slots[i].reply.kind, slots[i].reply.payload)
+	}
+	_ = bw.Flush()
+}
+
+// handleAssignBatchWire scatters a binary batch stream. Rows route by the
+// same rowKey as JSON batches; the response re-encodes one 'r' frame per
+// original input chunk with results back in input order, so the merged
+// stream is byte-identical to a solo backend's. Single-backend batches (and
+// degenerate empty ones) forward raw and relay raw.
+func (g *Gateway) handleAssignBatchWire(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	frames, err := parseWireStream(raw)
+	if err != nil {
+		writeWireHeaderError(w, err)
+		return
+	}
+	if len(frames) == 0 || frames[0].kind != model.FrameBatchStart {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "batch stream must open with a batch-start frame")
+		return
+	}
+	modelName, err := model.DecodeBatchStart(frames[0].payload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	// Decode the chunks, preserving their boundaries: the response must
+	// answer each input 'R' with one 'r', exactly as a solo backend streams.
+	var chunks [][][]int
+	for fi := 1; fi < len(frames); fi++ {
+		f := frames[fi]
+		switch f.kind {
+		case model.FrameRows:
+			rows, derr := model.DecodeRows(f.payload)
+			if derr != nil {
+				writeError(w, http.StatusBadRequest, codeBadRequest, "%v", derr)
+				return
+			}
+			chunks = append(chunks, rows)
+		case model.FrameEnd:
+			if fi != len(frames)-1 {
+				writeError(w, http.StatusBadRequest, codeBadRequest, "frames after the end frame")
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "unexpected frame kind %q in batch stream", f.kind)
+			return
+		}
+	}
+	if frames[len(frames)-1].kind != model.FrameEnd {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "batch stream ended without an end frame")
+		return
+	}
+
+	// Flatten for routing; chunk boundaries are recovered at re-encode time
+	// by walking chunks in order.
+	var rows [][]int
+	for _, c := range chunks {
+		rows = append(rows, c...)
+	}
+	groups := make(map[string][]int) // backend → flat row indices
+	for i, row := range rows {
+		b := g.ring.Get(rowKey(modelName, row))
+		groups[b] = append(groups[b], i)
+	}
+	if len(groups) <= 1 {
+		// One owner — or an empty batch, which any backend rejects the same
+		// way. Forward raw; relay raw.
+		b := g.backends[0]
+		for gb := range groups {
+			b = gb
+		}
+		g.forwardWire(w, b, "/v1/assign/batch", raw)
+		return
+	}
+
+	order := sortedKeys(groups)
+	type result struct {
+		status  int
+		data    []byte
+		hdr     http.Header
+		epoch   int
+		results []model.Assignment
+		err     error
+	}
+	resultsBy := make(map[string]*result, len(order))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, b := range order {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			var body bytes.Buffer
+			_ = model.WriteWireHeader(&body)
+			_ = model.WriteFrame(&body, model.FrameBatchStart, model.AppendBatchStart(nil, modelName))
+			sub := make([][]int, 0, len(groups[b]))
+			for _, i := range groups[b] {
+				sub = append(sub, rows[i])
+			}
+			_ = model.WriteFrame(&body, model.FrameRows, model.AppendRows(nil, sub))
+			_ = model.WriteFrame(&body, model.FrameEnd, nil)
+			res := &result{}
+			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign/batch", body.Bytes(), WireContentType)
+			if res.err == nil && res.status == http.StatusOK {
+				res.epoch, res.results, res.err = parseBatchReply(res.data, len(groups[b]))
+			}
+			mu.Lock()
+			resultsBy[b] = res
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+
+	merged := make([]model.Assignment, len(rows))
+	epoch := 0
+	for oi, b := range order {
+		res := resultsBy[b]
+		if res.err != nil {
+			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+			return
+		}
+		if res.status != http.StatusOK {
+			relay(w, res.status, res.hdr, res.data)
+			return
+		}
+		if oi == 0 {
+			epoch = res.epoch
+		}
+		for j, i := range groups[b] {
+			merged[i] = res.results[j]
+		}
+	}
+
+	// Re-encode along the original chunk boundaries. The codec is
+	// deterministic, so these are the bytes a solo backend would have sent.
+	w.Header().Set("Content-Type", WireContentType)
+	bw := bufio.NewWriter(w)
+	_ = model.WriteWireHeader(bw)
+	_ = model.WriteFrame(bw, model.FrameBatchInfo, model.AppendBatchInfo(nil, modelName, epoch))
+	var buf []byte
+	flat := 0
+	for _, c := range chunks {
+		if len(c) == 0 {
+			continue // a solo backend skips empty chunks too
+		}
+		buf = model.AppendResults(buf[:0], merged[flat:flat+len(c)])
+		flat += len(c)
+		_ = model.WriteFrame(bw, model.FrameResults, buf)
+	}
+	_ = model.WriteFrame(bw, model.FrameEnd, nil)
+	_ = bw.Flush()
+}
+
+// parseBatchReply decodes a backend's binary batch response — 'b' info,
+// 'r' result frames, 'E' — expecting want results in total.
+func parseBatchReply(data []byte, want int) (epoch int, results []model.Assignment, err error) {
+	frames, err := parseWireStream(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(frames) == 0 || frames[0].kind != model.FrameBatchInfo {
+		return 0, nil, fmt.Errorf("batch reply missing info frame")
+	}
+	if _, epoch, err = model.DecodeBatchInfo(frames[0].payload); err != nil {
+		return 0, nil, err
+	}
+	for _, f := range frames[1:] {
+		switch f.kind {
+		case model.FrameResults:
+			if results, err = model.DecodeResults(f.payload, results); err != nil {
+				return 0, nil, err
+			}
+		case model.FrameEnd:
+		case model.FrameError:
+			code, msg, derr := model.DecodeError(f.payload)
+			if derr != nil {
+				return 0, nil, derr
+			}
+			return 0, nil, fmt.Errorf("backend error %s: %s", code, msg)
+		default:
+			return 0, nil, fmt.Errorf("unexpected frame kind %q in batch reply", f.kind)
+		}
+	}
+	if len(results) != want {
+		return 0, nil, fmt.Errorf("%d results for %d rows", len(results), want)
+	}
+	return epoch, results, nil
+}
+
+// forwardWire forwards raw frame bytes to one backend and relays the raw
+// response — the byte-identity fast path.
+func (g *Gateway) forwardWire(w http.ResponseWriter, backend, path string, body []byte) {
+	status, data, hdr, err := g.doCT(g.client, http.MethodPost, backend, path, body, WireContentType)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", backend, err)
+		return
+	}
+	relay(w, status, hdr, data)
+}
+
+// writeWireHeaderError maps a request-stream parse failure to the
+// pre-stream HTTP envelope, distinguishing version skew.
+func writeWireHeaderError(w http.ResponseWriter, err error) {
+	var verr *model.WireVersionError
+	if errors.As(err, &verr) {
+		writeError(w, http.StatusUnprocessableEntity, codeVersionMismatch, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+}
+
+func sortedKeys(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

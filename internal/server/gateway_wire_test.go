@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mcdc/internal/model"
+)
+
+// TestGatewayWireByteIdenticalToSingleBackend extends the byte-identity
+// acceptance criterion to the binary frame protocol: a 2-backend gateway's
+// wire responses for pipelined assigns and a streamed batch are the exact
+// bytes a single backend produces.
+func TestGatewayWireByteIdenticalToSingleBackend(t *testing.T) {
+	snap, rows, _ := trainModel(t, 300, 8, 3, 51)
+	_, gts, backends, _ := gatewayFleet(t, 2, Config{})
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, soloTS := newTestServer(t, Config{})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipelined assigns, with an undecipherable request in the middle — the
+	// gateway answers that slot locally with the backend's exact error text,
+	// so the merged stream still matches the solo bytes.
+	buf := wireStream(t)
+	for _, row := range rows[:40] {
+		appendFrame(t, buf, model.FrameAssign, model.AppendAssignRequest(nil, "m", "", row))
+	}
+	appendFrame(t, buf, model.FrameAssign, model.AppendAssignRequest(nil, "", "", rows[40]))
+	for _, row := range rows[41:60] {
+		appendFrame(t, buf, model.FrameAssign, model.AppendAssignRequest(nil, "m", "", row))
+	}
+
+	gresp, gdata := postWire(t, gts.URL+"/v1/assign", buf.Bytes())
+	sresp, sdata := postWire(t, soloTS.URL+"/v1/assign", buf.Bytes())
+	if gresp.StatusCode != http.StatusOK || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("wire assign: gateway %d, solo %d", gresp.StatusCode, sresp.StatusCode)
+	}
+	if !bytes.Equal(gdata, sdata) {
+		t.Fatalf("gateway wire assign stream is not byte-identical to the single backend:\ngateway %d bytes, solo %d bytes", len(gdata), len(sdata))
+	}
+
+	// Streamed batch across several chunks: scattered by row key, merged
+	// back on the original chunk boundaries.
+	buf = wireStream(t)
+	appendFrame(t, buf, model.FrameBatchStart, model.AppendBatchStart(nil, "m"))
+	for _, c := range [][][]int{rows[:100], rows[100:110], rows[110:]} {
+		appendFrame(t, buf, model.FrameRows, model.AppendRows(nil, c))
+	}
+	appendFrame(t, buf, model.FrameEnd, nil)
+
+	gresp, gdata = postWire(t, gts.URL+"/v1/assign/batch", buf.Bytes())
+	sresp, sdata = postWire(t, soloTS.URL+"/v1/assign/batch", buf.Bytes())
+	if gresp.StatusCode != http.StatusOK || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("wire batch: gateway %d, solo %d (%s | %s)", gresp.StatusCode, sresp.StatusCode, gdata, sdata)
+	}
+	if !bytes.Equal(gdata, sdata) {
+		t.Fatal("gateway wire batch response is not byte-identical to the single backend")
+	}
+
+	// The scatter really split the work; otherwise this degraded to a
+	// raw-forward proxy check.
+	spread := 0
+	for _, b := range backends {
+		if sm, ok := b.registry.get("m"); ok && sm.buf.len() > 0 {
+			spread++
+		}
+	}
+	if spread != 2 {
+		t.Fatalf("wire batch traffic reached %d/2 backends", spread)
+	}
+}
+
+// TestGatewayWireVersionMismatch: the gateway enforces the version byte
+// itself and answers 422 without consulting any backend.
+func TestGatewayWireVersionMismatch(t *testing.T) {
+	_, gts, _, _ := gatewayFleet(t, 2, Config{})
+	var buf bytes.Buffer
+	if err := model.WriteWireHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] = model.WireVersion + 1
+	for _, path := range []string{"/v1/assign", "/v1/assign/batch"} {
+		resp, data := postWire(t, gts.URL+path, raw)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d, want 422 (%s)", path, resp.StatusCode, data)
+		}
+		if !strings.Contains(string(data), codeVersionMismatch) {
+			t.Fatalf("%s: envelope %s, want code %q", path, data, codeVersionMismatch)
+		}
+	}
+}
+
+// TestGatewayPropagatesShed pins the overload relay: a backend's 429 passes
+// through the gateway with status, Retry-After, and body unchanged, and the
+// gateway counts the shed per backend in its /metrics.
+func TestGatewayPropagatesShed(t *testing.T) {
+	const retryAfter = "7"
+	shedBody := `{"error":"server at capacity","code":"overloaded"}` + "\n"
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Like a real mcdcd, only assignment routes shed; health and
+		// metrics probes answer normally.
+		if r.Method == http.MethodGet {
+			if strings.HasSuffix(r.URL.Path, "/healthz") {
+				fmt.Fprintln(w, `{"status":"ok"}`)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", retryAfter)
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(shedBody))
+	}))
+	defer backend.Close()
+
+	gw, err := NewGateway(GatewayConfig{Backends: []string{strings.TrimPrefix(backend.URL, "http://")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+	defer func() { gts.Close(); gw.Close() }()
+
+	for i, path := range []string{"/v1/assign", "/v1/assign/batch"} {
+		body := map[string]any{"model": "m", "row": []int{1}}
+		if strings.HasSuffix(path, "batch") {
+			body = map[string]any{"model": "m", "rows": [][]int{{1}}}
+		}
+		resp, data := post(t, gts.URL+path, body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: status %d, want 429 (%s)", path, resp.StatusCode, data)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != retryAfter {
+			t.Fatalf("%s: Retry-After %q, want %q", path, ra, retryAfter)
+		}
+		if string(data) != shedBody {
+			t.Fatalf("%s: body altered in transit:\n%q\nwant\n%q", path, data, shedBody)
+		}
+
+		_, mdata := get(t, gts.URL+"/v1/metrics")
+		want := fmt.Sprintf("mcdcd_gateway_backend_sheds_total{backend=%q} %d",
+			strings.TrimPrefix(backend.URL, "http://"), i+1)
+		if !strings.Contains(string(mdata), want) {
+			t.Fatalf("gateway metrics missing %q:\n%s", want, mdata)
+		}
+	}
+}

@@ -110,14 +110,28 @@ func (sw *statusWriter) status() int {
 
 // write emits the counters in Prometheus text exposition format, together
 // with the per-model gauges read live from the registry and session pool.
-func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, uptime time.Duration) {
+// adm may be nil (admission control disabled); the valve series still emit
+// as zeros so dashboards and the gateway aggregator see a uniform shape.
+func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, adm *admission, uptime time.Duration) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	counter("mcdcd_assign_total", "Single-row assignments served.", m.assignTotal.Load())
 	counter("mcdcd_assign_batch_rows_total", "Rows served through batch assignment.", m.batchRows.Load())
 	counter("mcdcd_assign_errors_total", "Assignment requests rejected.", m.assignErrors.Load())
 	counter("mcdcd_relearn_total", "Background re-learn model swaps.", m.relearns.Load())
+	var shed, admittedN, depth, inflight int64
+	if adm != nil {
+		shed, admittedN = adm.shed.Load(), adm.admitted.Load()
+		depth, inflight = adm.depth(), int64(adm.inflight())
+	}
+	counter("mcdcd_shed_total", "Assignment requests shed by admission control (429).", shed)
+	counter("mcdcd_admitted_total", "Assignment requests admitted past the valve.", admittedN)
+	gauge("mcdcd_queue_depth", "Assignment requests waiting for an in-flight slot.", depth)
+	gauge("mcdcd_inflight", "Assignment requests currently executing.", inflight)
 	counter("mcdcd_session_drift_total", "Session assignments below the drift similarity threshold.", pool.lowSimTotal())
 	counter("mcdcd_sessions_evicted_total", "Streaming sessions evicted by the idle TTL sweeper.", pool.evicted.Load())
 	counter("mcdcd_sessions_restored_total", "Streaming sessions paged in from checkpoints.", pool.restored.Load())

@@ -2,17 +2,29 @@
 // HTTP/JSON front end over frozen model snapshots (internal/model) and
 // streaming sessions (internal/stream). It institutionalizes the paper's
 // batch-train / online-assign split — models are trained offline (cmd/mcdc
-// -save), loaded into a hot-swappable registry, and queried concurrently:
+// -save), loaded into a hot-swappable registry, and queried concurrently.
+// The API is versioned under /v1 (the pre-versioning paths remain as
+// aliases), and every error is the structured envelope of errors.go:
 //
-//	POST /models        load or hot-swap a named model from a snapshot file
-//	GET  /models        list served models
-//	DELETE /models/{name}
-//	POST /assign        assign one row (stateless "model" or stateful "session")
-//	POST /assign/batch  assign many rows, fanned out via internal/parallel
-//	POST /sessions      create a streaming session (schema from a model)
-//	DELETE /sessions/{id}
-//	GET  /healthz       liveness + model/session inventory
-//	GET  /metrics       Prometheus text: traffic, latency, epochs, drift
+//	POST /v1/models        load or hot-swap a named model from a snapshot file
+//	GET  /v1/models        list served models (with cardinalities schema)
+//	DELETE /v1/models/{name}
+//	POST /v1/assign        assign one row (stateless "model" or stateful
+//	                       "session"); JSON, or pipelined binary frames when
+//	                       Content-Type is application/x-mcdc-frame (wire.go)
+//	POST /v1/assign/batch  assign many rows, fanned out via internal/parallel;
+//	                       the binary form streams — responses flush per
+//	                       request chunk, so huge batches never buffer whole
+//	POST /v1/sessions      create a streaming session (schema from a model)
+//	DELETE /v1/sessions/{id}
+//	POST /v1/checkpoint    flush every session checkpoint on demand
+//	GET  /v1/healthz       liveness + model/session inventory
+//	GET  /v1/metrics       Prometheus text: traffic, latency, epochs, drift,
+//	                       admission queue depth and shed count
+//
+// The assignment endpoints sit behind admission control (admission.go): a
+// bounded in-flight pool plus a bounded wait queue, shedding with 429 +
+// Retry-After beyond that, so overload degrades predictably.
 //
 // Concurrency model: stateless assignment reads the snapshot through an
 // atomic pointer (a background re-learn swaps epochs without blocking
@@ -28,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,18 +91,29 @@ type Config struct {
 	// pool's memory stays bounded by the working set instead of the create
 	// history.
 	SessionTTL time.Duration
+	// MaxInFlight bounds concurrently executing assignment requests
+	// (/assign and /assign/batch, JSON and binary alike). 0 disables
+	// admission control entirely.
+	MaxInFlight int
+	// QueueDepth bounds how many assignment requests may wait for an
+	// in-flight slot before the server sheds with 429 + Retry-After.
+	QueueDepth int
+	// RetryAfter is the delay advertised in the Retry-After header of shed
+	// responses (default 1s; the header rounds up to whole seconds).
+	RetryAfter time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
 
 // Server is the mcdcd daemon core, embeddable in tests and other processes.
 type Server struct {
-	cfg      Config
-	start    time.Time
-	registry *registry
-	sessions *sessionPool
-	metrics  *metrics
-	mux      *http.ServeMux
+	cfg       Config
+	start     time.Time
+	registry  *registry
+	sessions  *sessionPool
+	metrics   *metrics
+	mux       *http.ServeMux
+	admission *admission // nil when Config.MaxInFlight is 0
 	// assigners pools per-goroutine model.Assigner scratches for the
 	// stateless assign hot path: Bind re-points a pooled scratch at the
 	// current snapshot (no allocation across hot swaps of same-shaped
@@ -125,12 +149,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		start:    time.Now(),
-		registry: newRegistry(),
-		metrics:  &metrics{http: newHTTPMetrics()},
-		mux:      http.NewServeMux(),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		start:     time.Now(),
+		registry:  newRegistry(),
+		metrics:   &metrics{http: newHTTPMetrics()},
+		mux:       http.NewServeMux(),
+		admission: newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.RetryAfter),
+		stop:      make(chan struct{}),
 	}
 	s.sessions = newSessionPool(cfg.SessionShards, sessionsDir, s.logf)
 	s.assigners.New = func() any { return &model.Assigner{} }
@@ -255,36 +280,64 @@ func (s *Server) AddModel(name string, snap *model.Snapshot) error {
 func (s *Server) routes() {
 	// Every route registers through handle so the per-endpoint request and
 	// error counters in /metrics cover all traffic, not just the assign path.
+	// The assignment endpoints additionally pass through the admission valve
+	// and sniff Content-Type: the binary frame protocol and JSON share one
+	// route per operation.
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /models", s.handleListModels)
 	s.handle("POST /models", s.handleLoadModel)
 	s.handle("DELETE /models/{name}", s.handleDeleteModel)
-	s.handle("POST /assign", s.handleAssign)
-	s.handle("POST /assign/batch", s.handleAssignBatch)
+	s.handle("POST /assign", s.admit(s.dispatchAssign))
+	s.handle("POST /assign/batch", s.admit(s.dispatchAssignBatch))
 	s.handle("POST /sessions", s.handleCreateSession)
 	s.handle("DELETE /sessions/{id}", s.handleDeleteSession)
 	s.handle("POST /checkpoint", s.handleCheckpoint)
 }
 
+// handle registers pattern's canonical /v1 route plus the pre-versioning
+// path as a legacy alias. Both spellings run the same instrumented handler
+// labeled by the canonical pattern, so /metrics shows one continuous series
+// per endpoint while a fleet's clients migrate.
 func (s *Server) handle(pattern string, fn http.HandlerFunc) {
-	s.mux.HandleFunc(pattern, s.metrics.http.instrument(pattern, fn))
+	method, path, _ := strings.Cut(pattern, " ")
+	canonical := method + " /v1" + path
+	h := s.metrics.http.instrument(canonical, fn)
+	s.mux.HandleFunc(canonical, h)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// dispatchAssign routes POST /v1/assign by Content-Type: binary frame
+// streams take the wire path, everything else the JSON path.
+func (s *Server) dispatchAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == WireContentType {
+		s.handleAssignWire(w, r)
+		return
+	}
+	s.handleAssign(w, r)
+}
+
+func (s *Server) dispatchAssignBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == WireContentType {
+		s.handleAssignBatchWire(w, r)
+		return
+	}
+	s.handleAssignBatch(w, r)
 }
 
 // ---- wire types ----
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
 
 type modelInfo struct {
 	Name     string `json:"name"`
 	K        int    `json:"k"`
 	Epoch    int    `json:"epoch"`
 	Features int    `json:"features"`
-	Kappa    []int  `json:"kappa,omitempty"`
-	TrainN   int    `json:"train_n"`
-	Buffered int    `json:"buffered"`
+	// Cardinalities is the per-feature domain size — enough schema for a
+	// caller (mcdcload, the client package) to synthesize valid rows.
+	Cardinalities []int `json:"cardinalities,omitempty"`
+	Kappa         []int `json:"kappa,omitempty"`
+	TrainN        int   `json:"train_n"`
+	Buffered      int   `json:"buffered"`
 }
 
 type loadModelRequest struct {
@@ -328,21 +381,11 @@ type sessionRequest struct {
 
 // ---- helpers ----
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -386,7 +429,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.registry, s.sessions, time.Since(s.start))
+	s.metrics.write(w, s.registry, s.sessions, s.admission, time.Since(s.start))
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -394,13 +437,14 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 	for _, sm := range s.registry.all() {
 		snap := sm.load()
 		infos = append(infos, modelInfo{
-			Name:     sm.name,
-			K:        snap.K,
-			Epoch:    snap.Epoch,
-			Features: snap.D(),
-			Kappa:    snap.Kappa,
-			TrainN:   snap.TrainN,
-			Buffered: sm.buf.len(),
+			Name:          sm.name,
+			K:             snap.K,
+			Epoch:         snap.Epoch,
+			Features:      snap.D(),
+			Cardinalities: snap.Cardinalities,
+			Kappa:         snap.Kappa,
+			TrainN:        snap.TrainN,
+			Buffered:      sm.buf.len(),
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string][]modelInfo{"models": infos})
@@ -413,12 +457,12 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, replaced, err := s.LoadModelFile(req.Name, req.Path)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, codeBadRequest
 		var verr *model.VersionError
 		if errors.As(err, &verr) {
-			status = http.StatusUnprocessableEntity
+			status, code = http.StatusUnprocessableEntity, codeVersionMismatch
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, status, code, "%v", err)
 		return
 	}
 	// A first load creates the served resource (201); re-loading an already
@@ -436,81 +480,114 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.registry.remove(name) {
-		writeError(w, http.StatusNotFound, "no model %q", name)
+		writeError(w, http.StatusNotFound, codeUnknownModel, "no model %q", name)
 		return
 	}
 	s.logf("unloaded model %q", name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+// assignOne performs one assignment — stateless against a model when
+// modelName is set, stateful against a session otherwise — and hands the
+// result to emit while any pooled assigner scratch is still bound: the
+// Encoding aliases the scratch, so emit must serialize before returning.
+// Both the JSON handler and the binary frame handler route through here, so
+// the two protocols cannot drift. On failure it returns the HTTP status,
+// stable error code, and message for the front end to shape (JSON envelope
+// or in-band error frame).
+func (s *Server) assignOne(modelName, session string, row []int, emit func(assignResponse)) (int, string, error) {
 	started := time.Now()
-	var req assignRequest
-	if !decodeJSON(w, r, &req) {
-		s.metrics.assignErrors.Add(1)
-		return
-	}
 	switch {
-	case req.Model != "" && req.Session != "":
+	case modelName != "" && session != "":
 		s.metrics.assignErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "set either model or session, not both")
-	case req.Model != "":
-		sm, ok := s.registry.get(req.Model)
+		return http.StatusBadRequest, codeBadRequest, errors.New("set either model or session, not both")
+	case modelName != "":
+		sm, ok := s.registry.get(modelName)
 		if !ok {
 			s.metrics.assignErrors.Add(1)
-			writeError(w, http.StatusNotFound, "no model %q", req.Model)
-			return
+			return http.StatusNotFound, codeUnknownModel, fmt.Errorf("no model %q", modelName)
 		}
 		snap := sm.load()
 		asg := s.assigners.Get().(*model.Assigner)
-		// Deferred so every return path (and a panicking encoder) unbinds —
-		// a pooled entry must never pin a hot-swapped snapshot — and the
+		// Deferred so every return path (and a panicking emit) unbinds — a
+		// pooled entry must never pin a hot-swapped snapshot — and the
 		// scratch-aliased Encoding is serialized before the Put runs.
 		defer func() {
 			asg.Unbind()
 			s.assigners.Put(asg)
 		}()
 		asg.Bind(snap)
-		a, err := asg.Assign(req.Row)
+		a, err := asg.Assign(row)
 		if err != nil {
 			s.metrics.assignErrors.Add(1)
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return http.StatusBadRequest, codeBadRequest, err
 		}
-		bufferRow(sm, snap, req.Row)
+		bufferRow(sm, snap, row)
 		if a.Similarity < driftThreshold {
 			sm.lowSim.Add(1)
 		}
 		s.metrics.assignTotal.Add(1)
 		s.metrics.observe(time.Since(started))
-		writeJSON(w, http.StatusOK, assignResponse{
-			Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding,
-		})
-	case req.Session != "":
-		a, found, err := s.sessions.assign(req.Session, req.Row, driftThreshold)
+		emit(assignResponse{Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding})
+		return 0, "", nil
+	case session != "":
+		a, found, err := s.sessions.assign(session, row, driftThreshold)
 		if !found {
 			s.metrics.assignErrors.Add(1)
-			writeError(w, http.StatusNotFound, "no session %q", req.Session)
-			return
+			return http.StatusNotFound, codeUnknownSession, fmt.Errorf("no session %q", session)
 		}
 		if err != nil {
 			s.metrics.assignErrors.Add(1)
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return http.StatusBadRequest, codeBadRequest, err
 		}
 		s.metrics.assignTotal.Add(1)
 		s.metrics.observe(time.Since(started))
-		writeJSON(w, http.StatusOK, assignResponse{
-			Cluster: a.Cluster, Similarity: a.Similarity, Epoch: a.ModelEpoch,
-		})
+		emit(assignResponse{Cluster: a.Cluster, Similarity: a.Similarity, Epoch: a.ModelEpoch})
+		return 0, "", nil
 	default:
 		s.metrics.assignErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "request names neither a model nor a session")
+		return http.StatusBadRequest, codeBadRequest, errors.New("request names neither a model nor a session")
 	}
 }
 
-func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req assignRequest
+	if !decodeJSON(w, r, &req) {
+		s.metrics.assignErrors.Add(1)
+		return
+	}
+	status, code, err := s.assignOne(req.Model, req.Session, req.Row, func(resp assignResponse) {
+		writeJSON(w, http.StatusOK, resp)
+	})
+	if err != nil {
+		writeError(w, status, code, "%v", err)
+	}
+}
+
+// assignBatchRows fans one batch out against a resolved model under the
+// repository's determinism contract (bit-for-bit identical at any worker
+// count) and folds the rows into the re-learn window and drift counters.
+// The returned encodings are block-carved by AssignBatch — safe to retain
+// past the call, unlike assignOne's scratch-aliased single result.
+func (s *Server) assignBatchRows(sm *servedModel, snap *model.Snapshot, rows [][]int) ([]model.Assignment, error) {
 	started := time.Now()
+	assignments, err := snap.AssignBatch(rows, s.cfg.Workers)
+	if err != nil {
+		s.metrics.assignErrors.Add(1)
+		return nil, err
+	}
+	for i, a := range assignments {
+		bufferRow(sm, snap, rows[i])
+		if a.Similarity < driftThreshold {
+			sm.lowSim.Add(1)
+		}
+	}
+	s.metrics.batchRows.Add(int64(len(assignments)))
+	s.metrics.observe(time.Since(started))
+	return assignments, nil
+}
+
+func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !decodeJSON(w, r, &req) {
 		s.metrics.assignErrors.Add(1)
@@ -518,34 +595,25 @@ func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Rows) == 0 {
 		s.metrics.assignErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty batch")
 		return
 	}
 	sm, ok := s.registry.get(req.Model)
 	if !ok {
 		s.metrics.assignErrors.Add(1)
-		writeError(w, http.StatusNotFound, "no model %q", req.Model)
+		writeError(w, http.StatusNotFound, codeUnknownModel, "no model %q", req.Model)
 		return
 	}
 	snap := sm.load()
-	// The fan-out runs under the repository's determinism contract: the
-	// response is bit-for-bit identical at any worker count.
-	assignments, err := snap.AssignBatch(req.Rows, s.cfg.Workers)
+	assignments, err := s.assignBatchRows(sm, snap, req.Rows)
 	if err != nil {
-		s.metrics.assignErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	resp := batchResponse{Model: req.Model, Epoch: snap.Epoch, Assignments: make([]assignResponse, len(assignments))}
 	for i, a := range assignments {
-		bufferRow(sm, snap, req.Rows[i])
-		if a.Similarity < driftThreshold {
-			sm.lowSim.Add(1)
-		}
 		resp.Assignments[i] = assignResponse{Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding}
 	}
-	s.metrics.batchRows.Add(int64(len(assignments)))
-	s.metrics.observe(time.Since(started))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -555,12 +623,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := validateName(req.Session); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	sm, ok := s.registry.get(req.Model)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no model %q to take the session schema from", req.Model)
+		writeError(w, http.StatusNotFound, codeUnknownModel, "no model %q to take the session schema from", req.Model)
 		return
 	}
 	window := req.Window
@@ -572,7 +640,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		seed = s.cfg.Seed
 	}
 	if err := s.sessions.create(req.Session, sm.load().Cardinalities, window, seed, s.cfg.Workers); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, codeConflict, "%v", err)
 		return
 	}
 	s.logf("created session %q (schema from model %q)", req.Session, req.Model)
@@ -582,7 +650,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.sessions.remove(id) {
-		writeError(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, http.StatusNotFound, codeUnknownSession, "no session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -593,7 +661,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 // without waiting for the periodic sweep or a shutdown.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.StateDir == "" {
-		writeError(w, http.StatusBadRequest, "daemon runs without -state-dir; nothing to checkpoint to")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "daemon runs without -state-dir; nothing to checkpoint to")
 		return
 	}
 	n := s.sessions.checkpointAll()

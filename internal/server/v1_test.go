@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestV1Aliases pins the versioning contract: every endpoint answers under
+// its canonical /v1 path and its pre-versioning alias with the same body,
+// and /metrics counts both spellings under the one canonical label.
+func TestV1Aliases(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 3)
+	s, ts := newTestServer(t, Config{})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// GET endpoints answer under both spellings; /models is static so its
+	// bodies must match exactly (/healthz carries a live uptime field).
+	for _, path := range []string{"/healthz", "/models", "/metrics"} {
+		r1, d1 := get(t, ts.URL+"/v1"+path)
+		r2, d2 := get(t, ts.URL+path)
+		if r1.StatusCode != http.StatusOK || r2.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status v1=%d legacy=%d", path, r1.StatusCode, r2.StatusCode)
+		}
+		if path == "/models" && !bytes.Equal(d1, d2) {
+			t.Fatalf("%s: v1 and legacy bodies differ:\n%s\nvs\n%s", path, d1, d2)
+		}
+	}
+
+	// POST /assign: both spellings answer the same assignment.
+	r1, d1 := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[0]})
+	r2, d2 := post(t, ts.URL+"/assign", map[string]any{"model": "m", "row": rows[0]})
+	if r1.StatusCode != 200 || r2.StatusCode != 200 || !bytes.Equal(d1, d2) {
+		t.Fatalf("assign alias mismatch: %d %s vs %d %s", r1.StatusCode, d1, r2.StatusCode, d2)
+	}
+
+	// Session lifecycle across mixed spellings: create on legacy, assign on
+	// v1, delete on v1.
+	if r, d := post(t, ts.URL+"/sessions", map[string]any{"session": "s1", "model": "m"}); r.StatusCode != http.StatusCreated {
+		t.Fatalf("create session via legacy path: %d %s", r.StatusCode, d)
+	}
+	if r, d := post(t, ts.URL+"/v1/assign", map[string]any{"session": "s1", "row": rows[1]}); r.StatusCode != 200 {
+		t.Fatalf("assign to session via v1: %d %s", r.StatusCode, d)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/s1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete session via v1: %d", resp.StatusCode)
+	}
+
+	// Metrics: one continuous series per endpoint, labeled canonically. The
+	// three assigns above (one per spelling, one session) land on the same
+	// counter, and no legacy-labeled series exists.
+	_, mdata := get(t, ts.URL+"/v1/metrics")
+	if want := `mcdcd_http_requests_total{endpoint="POST /v1/assign"} 3`; !strings.Contains(string(mdata), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, mdata)
+	}
+	if strings.Contains(string(mdata), `endpoint="POST /assign"`) {
+		t.Fatalf("metrics leak a legacy-labeled series:\n%s", mdata)
+	}
+}
+
+// TestErrorEnvelopes pins the stable error-code table endpoint by endpoint:
+// every failure answers {"error": ..., "code": ...} with the documented
+// status and code.
+func TestErrorEnvelopes(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 3)
+	s, ts := newTestServer(t, Config{})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+	if r, d := post(t, ts.URL+"/v1/sessions", map[string]any{"session": "s1", "model": "m"}); r.StatusCode != http.StatusCreated {
+		t.Fatalf("seed session: %d %s", r.StatusCode, d)
+	}
+
+	// A snapshot file stamped with a future format version, for the
+	// version_mismatch row of the table.
+	dir := t.TempDir()
+	goodPath := filepath.Join(dir, "good.bin")
+	if err := snap.SaveFile(goodPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[9]++ // header is 8-byte magic + kind + version; bump the version
+	badPath := filepath.Join(dir, "future.bin")
+	if err := os.WriteFile(badPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Malformed JSON is sent raw — it cannot ride the table's marshal path.
+	resp0, err := http.Post(ts.URL+"/v1/assign", "application/json", strings.NewReader(`{"model":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := readAll(t, resp0)
+	var env0 errorResponse
+	if resp0.StatusCode != 400 || json.Unmarshal(d0, &env0) != nil || env0.Code != codeBadRequest {
+		t.Fatalf("malformed json: %d %s, want 400 %q", resp0.StatusCode, d0, codeBadRequest)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		status int
+		code   string
+	}{
+		{"row schema", "POST", "/v1/assign", map[string]any{"model": "m", "row": []int{1}}, 400, codeBadRequest},
+		{"model and session", "POST", "/v1/assign", map[string]any{"model": "m", "session": "s1", "row": rows[0]}, 400, codeBadRequest},
+		{"neither model nor session", "POST", "/v1/assign", map[string]any{"row": rows[0]}, 400, codeBadRequest},
+		{"assign unknown model", "POST", "/v1/assign", map[string]any{"model": "ghost", "row": rows[0]}, 404, codeUnknownModel},
+		{"assign unknown session", "POST", "/v1/assign", map[string]any{"session": "ghost", "row": rows[0]}, 404, codeUnknownSession},
+		{"batch unknown model", "POST", "/v1/assign/batch", map[string]any{"model": "ghost", "rows": rows[:2]}, 404, codeUnknownModel},
+		{"batch empty", "POST", "/v1/assign/batch", map[string]any{"model": "m", "rows": [][]int{}}, 400, codeBadRequest},
+		{"session for unknown model", "POST", "/v1/sessions", map[string]any{"session": "s2", "model": "ghost"}, 404, codeUnknownModel},
+		{"duplicate session", "POST", "/v1/sessions", map[string]any{"session": "s1", "model": "m"}, 409, codeConflict},
+		{"delete unknown session", "DELETE", "/v1/sessions/ghost", nil, 404, codeUnknownSession},
+		{"delete unknown model", "DELETE", "/v1/models/ghost", nil, 404, codeUnknownModel},
+		{"load unreadable snapshot", "POST", "/v1/models", map[string]any{"name": "x", "path": filepath.Join(dir, "missing.bin")}, 400, codeBadRequest},
+		{"load future snapshot", "POST", "/v1/models", map[string]any{"name": "x", "path": badPath}, 422, codeVersionMismatch},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var data []byte
+		switch tc.method {
+		case "POST":
+			resp, data = post(t, ts.URL+tc.path, tc.body)
+		case "DELETE":
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+tc.path, nil)
+			r, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = readAll(t, r)
+			resp = r
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			continue
+		}
+		var env errorResponse
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Errorf("%s: body is not an envelope: %v (%s)", tc.name, err, data)
+			continue
+		}
+		if env.Code != tc.code {
+			t.Errorf("%s: code %q, want %q (error %q)", tc.name, env.Code, tc.code, env.Error)
+		}
+		if env.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
