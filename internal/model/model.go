@@ -118,6 +118,98 @@ type Snapshot struct {
 	// tables are the Levels rebuilt into probe-ready form; populated by
 	// Build/Load, never serialized.
 	tables []*similarity.Tables
+	// plan is the packed probe plan the serving fast path gathers from;
+	// populated by Build/Load alongside tables (nil when the levels'
+	// statistics do not share the snapshot schema — then assignInto falls
+	// back to the per-feature ProbeSim loop, the cross-check oracle).
+	plan *probePlan
+}
+
+// probePlan is the precomputed, gather-ready form of a snapshot's level
+// tables: for every level and cluster, the per-(feature, value) probability
+// float64(count)/float64(seen) laid out flat at r*stride+v — the exact
+// quotients ProbeSim forms per call, computed once at Build/Load. A row is
+// assigned by packing its values into flat plane indices once (one O(d)
+// pass) and then summing plane entries for every cluster of every level:
+// the K·σ similarity probes become branch- and division-free gather loops
+// over the same indices. Terms are gathered in increasing feature order and
+// invalid positions carry +0.0 (adding +0.0 to a non-negative partial sum
+// is a bitwise no-op), so every probe value — and therefore every
+// assignment — is bit-for-bit identical to the unpacked ProbeSim loop,
+// which the property tests pin.
+type probePlan struct {
+	stride int
+	card   []int // the snapshot schema; the in-range check for row values
+	levels []probeLevel
+}
+
+// probeLevel holds one level's planes: cluster l's plane is
+// plane[l*size : (l+1)*size], with size = d·stride.
+type probeLevel struct {
+	k     int
+	size  int
+	plane []float64
+}
+
+// buildPlan derives the probe plan from the snapshot's serialized level
+// statistics. Levels that disagree with the schema (different stride or
+// cardinalities — impossible for Build-produced snapshots, conceivable for
+// hand-crafted state) leave the plan nil, keeping the slow path exact.
+func (s *Snapshot) buildPlan() {
+	d := len(s.Cardinalities)
+	if d == 0 || len(s.Levels) == 0 {
+		return
+	}
+	stride := s.Levels[0].Stride
+	for _, st := range s.Levels {
+		if st.Stride != stride || len(st.Card) != d {
+			return
+		}
+		for r, m := range st.Card {
+			if m != s.Cardinalities[r] {
+				return
+			}
+		}
+	}
+	size := d * stride
+	plan := &probePlan{stride: stride, card: s.Cardinalities, levels: make([]probeLevel, len(s.Levels))}
+	for j, st := range s.Levels {
+		plane := make([]float64, st.K*size)
+		for l := 0; l < st.K; l++ {
+			if st.Sizes[l] == 0 {
+				// ProbeSim short-circuits empty clusters to 0; an all-zero
+				// plane reproduces that even if the (corrupt) state carried
+				// stray counts.
+				continue
+			}
+			dst := plane[l*size : (l+1)*size]
+			counts, seen := st.Counts[l], st.Seen[l]
+			for r := 0; r < d; r++ {
+				if seen[r] == 0 {
+					continue
+				}
+				den := float64(seen[r])
+				base := r * stride
+				for v := 0; v < st.Card[r]; v++ {
+					if c := counts[base+v]; c != 0 {
+						dst[base+v] = float64(c) / den
+					}
+				}
+			}
+		}
+		plan.levels[j] = probeLevel{k: st.K, size: size, plane: plane}
+	}
+	s.plan = plan
+}
+
+// probeGather sums the plane entries at the row's packed indices — the inner
+// loop of the packed assignment fast path.
+func probeGather(plane []float64, idx []int) float64 {
+	var sum float64
+	for _, t := range idx {
+		sum += plane[t]
+	}
+	return sum
 }
 
 // Build freezes a trained pipeline into a Snapshot: rows and cardinalities
@@ -182,6 +274,7 @@ func Build(rows [][]int, cardinalities []int, encoding [][]int, modes [][]int, t
 		s.Levels = append(s.Levels, t.State())
 		s.tables = append(s.tables, t)
 	}
+	s.buildPlan()
 	return s, nil
 }
 
@@ -247,6 +340,7 @@ func (s *Snapshot) validate() error {
 			}
 		}
 	}
+	s.buildPlan()
 	for j, th := range s.Theta {
 		if math.IsNaN(th) || th < 0 {
 			return fmt.Errorf("model: theta[%d] = %v", j, th)
@@ -273,26 +367,51 @@ func (s *Snapshot) Assign(row []int) (Assignment, error) {
 	if s.tables == nil {
 		return Assignment{}, errors.New("model: snapshot not initialized (obtain it via Build or Load)")
 	}
-	return s.assignInto(row, make([]int, len(s.tables)))
+	return s.assignInto(row, make([]int, len(s.tables)), make([]int, 0, len(s.Cardinalities)))
 }
 
 // assignInto is Assign's allocation-free core: the level probe and the
 // θ-weighted nearest-mode selection, writing the reconstructed Γ encoding
 // into enc (len == Sigma) and returning it as Assignment.Encoding. Callers
 // own enc's lifetime: Assign hands over a fresh slice, Assigner and
-// AssignBatch reuse scratch/block storage.
-func (s *Snapshot) assignInto(row []int, enc []int) (Assignment, error) {
+// AssignBatch reuse scratch/block storage. idx is probe scratch (capacity ≥
+// the feature count): the row's in-domain values are packed into flat plane
+// indices once, and every level/cluster probe of the fast path gathers over
+// them — see probePlan for why the result is bit-identical to the ProbeSim
+// loop, which remains both the oracle and the fallback when the snapshot
+// has no plan.
+func (s *Snapshot) assignInto(row []int, enc, idx []int) (Assignment, error) {
 	if len(row) != len(s.Cardinalities) {
 		return Assignment{}, fmt.Errorf("model: row has %d features, schema has %d", len(row), len(s.Cardinalities))
 	}
-	for j, t := range s.tables {
-		best, bestSim := 0, t.ProbeSim(row, 0)
-		for l := 1; l < t.K(); l++ {
-			if sim := t.ProbeSim(row, l); sim > bestSim {
-				best, bestSim = l, sim
+	if p := s.plan; p != nil {
+		idx = idx[:0]
+		for r, v := range row {
+			if v >= 0 && v < p.card[r] {
+				idx = append(idx, r*p.stride+v)
 			}
 		}
-		enc[j] = best
+		den := float64(len(row))
+		for j := range p.levels {
+			lv := &p.levels[j]
+			best, bestSim := 0, probeGather(lv.plane[:lv.size], idx)/den
+			for l := 1; l < lv.k; l++ {
+				if sim := probeGather(lv.plane[l*lv.size:(l+1)*lv.size], idx) / den; sim > bestSim {
+					best, bestSim = l, sim
+				}
+			}
+			enc[j] = best
+		}
+	} else {
+		for j, t := range s.tables {
+			best, bestSim := 0, t.ProbeSim(row, 0)
+			for l := 1; l < t.K(); l++ {
+				if sim := t.ProbeSim(row, l); sim > bestSim {
+					best, bestSim = l, sim
+				}
+			}
+			enc[j] = best
+		}
 	}
 	var thetaSum float64
 	for _, th := range s.Theta {
@@ -329,6 +448,7 @@ func (s *Snapshot) assignInto(row []int, enc []int) (Assignment, error) {
 type Assigner struct {
 	snap *Snapshot
 	enc  []int
+	idx  []int // packed probe-index scratch for the plan fast path
 }
 
 // NewAssigner returns an Assigner bound to the snapshot.
@@ -338,15 +458,20 @@ func (s *Snapshot) NewAssigner() *Assigner {
 	return a
 }
 
-// Bind points the assigner at snap, growing the scratch only when snap has
-// more granularity levels than any snapshot bound before — rebinding across
-// hot swaps of same-shaped models allocates nothing.
+// Bind points the assigner at snap, growing the scratches only when snap has
+// more granularity levels (or features, for the packed probe index) than any
+// snapshot bound before — rebinding across hot swaps of same-shaped models
+// allocates nothing.
 func (a *Assigner) Bind(s *Snapshot) {
 	a.snap = s
 	if cap(a.enc) < len(s.tables) {
 		a.enc = make([]int, len(s.tables))
 	}
 	a.enc = a.enc[:len(s.tables)]
+	if cap(a.idx) < len(s.Cardinalities) {
+		a.idx = make([]int, 0, len(s.Cardinalities))
+	}
+	a.idx = a.idx[:0]
 }
 
 // Unbind drops the assigner's snapshot reference while keeping its scratch,
@@ -363,7 +488,7 @@ func (a *Assigner) Assign(row []int) (Assignment, error) {
 	if a.snap.tables == nil {
 		return Assignment{}, errors.New("model: snapshot not initialized (obtain it via Build or Load)")
 	}
-	return a.snap.assignInto(row, a.enc)
+	return a.snap.assignInto(row, a.enc, a.idx)
 }
 
 // AssignBatch assigns every row, fanning the independent per-row probes out
@@ -383,8 +508,9 @@ func (s *Snapshot) AssignBatch(rows [][]int, workers int) ([]Assignment, error) 
 	block := make([]int, len(rows)*sigma)
 	err := parallel.ForEachChunk(parallel.Gate(workers, len(rows)*len(s.Cardinalities)*sigma), len(rows),
 		func(lo, hi int) error {
+			idx := make([]int, 0, len(s.Cardinalities)) // one probe scratch per chunk
 			for i := lo; i < hi; i++ {
-				a, err := s.assignInto(rows[i], block[i*sigma:(i+1)*sigma:(i+1)*sigma])
+				a, err := s.assignInto(rows[i], block[i*sigma:(i+1)*sigma:(i+1)*sigma], idx)
 				if err != nil {
 					return fmt.Errorf("row %d: %w", i, err)
 				}

@@ -1,0 +1,179 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcdc/internal/categorical"
+)
+
+// unplanned returns a shallow copy of snap with the probe plan removed, so
+// assignInto takes the per-feature ProbeSim loop — the unpacked oracle the
+// packed fast path is pinned against.
+func unplanned(snap *Snapshot) *Snapshot {
+	oracle := *snap
+	oracle.plan = nil
+	return &oracle
+}
+
+// probeRows draws rows against the schema, deliberately including missing
+// values and out-of-domain codes (negative and above-cardinality) — the
+// inputs a serving daemon actually sees, and exactly the positions the
+// packed index build must drop like ProbeSim does.
+func probeRows(rng *rand.Rand, n int, card []int) [][]int {
+	rows := make([][]int, n)
+	for i := range rows {
+		row := make([]int, len(card))
+		for r, m := range card {
+			switch rng.Intn(10) {
+			case 0:
+				row[r] = categorical.Missing
+			case 1:
+				row[r] = m + rng.Intn(3) // out of domain, above
+			case 2:
+				row[r] = -2 - rng.Intn(3) // out of domain, negative non-Missing
+			default:
+				row[r] = rng.Intn(m)
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestAssignPlanMatchesOracle is the packed-vs-unpacked equivalence property
+// of the serving fast path: across trained snapshots of several shapes and
+// adversarial probe rows, the plan gather must reproduce the ProbeSim loop
+// bit for bit — same cluster, bit-identical similarity, same encoding.
+func TestAssignPlanMatchesOracle(t *testing.T) {
+	for _, shape := range []struct {
+		n, d, k int
+		seed    int64
+	}{
+		{200, 6, 3, 1},
+		{300, 12, 4, 2},
+		{150, 3, 2, 3},
+	} {
+		snap, _, _ := trainSnapshot(t, shape.n, shape.d, shape.k, shape.seed)
+		if snap.plan == nil {
+			t.Fatalf("shape %+v: Build left no probe plan", shape)
+		}
+		oracle := unplanned(snap)
+		rng := rand.New(rand.NewSource(shape.seed * 101))
+		for _, row := range probeRows(rng, 200, snap.Cardinalities) {
+			got, err := snap.Assign(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Assign(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cluster != want.Cluster {
+				t.Fatalf("shape %+v row %v: plan cluster %d, oracle %d", shape, row, got.Cluster, want.Cluster)
+			}
+			if math.Float64bits(got.Similarity) != math.Float64bits(want.Similarity) {
+				t.Fatalf("shape %+v row %v: plan similarity %v (bits %x), oracle %v (bits %x)",
+					shape, row, got.Similarity, math.Float64bits(got.Similarity),
+					want.Similarity, math.Float64bits(want.Similarity))
+			}
+			for j := range got.Encoding {
+				if got.Encoding[j] != want.Encoding[j] {
+					t.Fatalf("shape %+v row %v: plan encoding %v, oracle %v", shape, row, got.Encoding, want.Encoding)
+				}
+			}
+		}
+	}
+}
+
+// TestAssignPlanSurvivesRoundTrip pins that Load rebuilds the plan and that
+// the loaded fast path still matches the oracle (the plan is never
+// serialized — it must be derived from the envelope's statistics alone).
+func TestAssignPlanSurvivesRoundTrip(t *testing.T) {
+	snap, _, rows := trainSnapshot(t, 250, 8, 3, 5)
+	loaded := saveLoad(t, snap)
+	if loaded.plan == nil {
+		t.Fatal("Load left no probe plan")
+	}
+	oracle := unplanned(loaded)
+	for _, row := range rows {
+		got, err := loaded.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cluster != want.Cluster || math.Float64bits(got.Similarity) != math.Float64bits(want.Similarity) {
+			t.Fatalf("row %v: loaded plan (%d, %v) != oracle (%d, %v)",
+				row, got.Cluster, got.Similarity, want.Cluster, want.Similarity)
+		}
+	}
+}
+
+// TestAssignBatchPlanEquivalence crosses the packed fast path with the
+// parallel fan-out: AssignBatch at workers 1, 2, and GOMAXPROCS must agree
+// with the single-row oracle on every row.
+func TestAssignBatchPlanEquivalence(t *testing.T) {
+	snap, _, _ := trainSnapshot(t, 300, 10, 3, 9)
+	oracle := unplanned(snap)
+	rng := rand.New(rand.NewSource(99))
+	rows := probeRows(rng, 500, snap.Cardinalities)
+	want := make([]Assignment, len(rows))
+	for i, row := range rows {
+		a, err := oracle.Assign(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = a
+	}
+	for _, workers := range []int{1, 2, 0} {
+		got, err := snap.AssignBatch(rows, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Cluster != want[i].Cluster ||
+				math.Float64bits(got[i].Similarity) != math.Float64bits(want[i].Similarity) {
+				t.Fatalf("workers=%d row %d: batch (%d, %v) != oracle (%d, %v)",
+					workers, i, got[i].Cluster, got[i].Similarity, want[i].Cluster, want[i].Similarity)
+			}
+		}
+	}
+}
+
+// TestPlanRefusesMismatchedState pins the fallback: a snapshot whose level
+// statistics disagree with its schema must carry no plan (and therefore
+// serve through the exact slow path) instead of gathering from a
+// wrongly-shaped plane.
+func TestPlanRefusesMismatchedState(t *testing.T) {
+	snap, _, _ := trainSnapshot(t, 200, 6, 3, 13)
+	mangled := saveLoad(t, snap)
+	mangled.Levels[0].Card = append([]int(nil), mangled.Levels[0].Card...)
+	mangled.Levels[0].Card[0]++ // no longer the schema's cardinality
+	if mangled.Levels[0].Card[0] > mangled.Levels[0].Stride {
+		mangled.Levels[0].Stride = mangled.Levels[0].Card[0]
+	}
+	mangled.plan = nil
+	mangled.buildPlan()
+	if mangled.plan != nil {
+		t.Fatal("buildPlan accepted level statistics that disagree with the schema")
+	}
+}
+
+// saveLoad round-trips a snapshot through the envelope.
+func saveLoad(t *testing.T, snap *Snapshot) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}

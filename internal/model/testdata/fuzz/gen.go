@@ -1,0 +1,95 @@
+//go:build ignore
+
+// gen.go regenerates the committed fuzz seed corpora for internal/model and
+// internal/similarity. The files are ordinary `go test fuzz v1` corpus
+// entries, so `go test` replays them on every run and `go test -fuzz` mutates
+// outward from them. Run from the repo root:
+//
+//	go run internal/model/testdata/fuzz/gen.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"mcdc/internal/model"
+)
+
+func main() {
+	// A well-formed wire stream covering every frame kind (mirrors the
+	// fuzzSeedStream helper in wire_fuzz_test.go).
+	var buf bytes.Buffer
+	check(model.WriteWireHeader(&buf))
+	frame := func(kind byte, payload []byte) { check(model.WriteFrame(&buf, kind, payload)) }
+	frame(model.FrameAssign, model.AppendAssignRequest(nil, "m", "", []int{1, -1, 3, 70000}))
+	frame(model.FrameBatchStart, model.AppendBatchStart(nil, "m"))
+	frame(model.FrameRows, model.AppendRows(nil, [][]int{{0, 1}, {-1, -9}, nil}))
+	frame(model.FrameBatchInfo, model.AppendBatchInfo(nil, "m", 3))
+	frame(model.FrameResults, model.AppendResults(nil, []model.Assignment{
+		{Cluster: 1, Similarity: 0.25, Encoding: []int{0, 2}},
+		{Cluster: 0, Similarity: math.Inf(1)},
+	}))
+	frame(model.FrameResult, model.AppendResult(nil, model.Assignment{Cluster: 2, Similarity: 0.5, Encoding: []int{1, 0}}, 7))
+	frame(model.FrameError, model.AppendError(nil, "model_not_found", "no such model"))
+	frame(model.FrameEnd, nil)
+	valid := buf.Bytes()
+
+	truncated := valid[:len(valid)-3]
+	badVersion := []byte("MCDCWIRE\x02")
+	badMagic := []byte("NOTAWIRE\x01")
+	hugeLength := append(append([]byte("MCDCWIRE\x01"), model.FrameAssign), 0xff, 0xff, 0xff, 0xff, 0x7f)
+
+	write("internal/model/testdata/fuzz/FuzzWireFrames/valid-stream", b(valid))
+	write("internal/model/testdata/fuzz/FuzzWireFrames/truncated-frame", b(truncated))
+	write("internal/model/testdata/fuzz/FuzzWireFrames/bad-version", b(badVersion))
+	write("internal/model/testdata/fuzz/FuzzWireFrames/bad-magic", b(badMagic))
+	write("internal/model/testdata/fuzz/FuzzWireFrames/huge-length", b(hugeLength))
+
+	write("internal/model/testdata/fuzz/FuzzAssignRoundTrip/basic",
+		s("m"), s(""), b([]byte{1, 2, 3}), i(2), fl(0.75), i(7))
+	write("internal/model/testdata/fuzz/FuzzAssignRoundTrip/session-negatives",
+		s(""), s("s-1"), b([]byte{255, 0, 128}), i(0), fl(-1.5), i(-1))
+	write("internal/model/testdata/fuzz/FuzzAssignRoundTrip/empty-row",
+		s("x"), s("y"), b(nil), i(-5), fl(0), i(1<<40))
+
+	write("internal/similarity/testdata/fuzz/FuzzPairAt/smallest", i(2), i(0))
+	write("internal/similarity/testdata/fuzz/FuzzPairAt/row-boundary", i(65), i(64))
+	write("internal/similarity/testdata/fuzz/FuzzPairAt/bench-tail", i(2000), i(1998999))
+	write("internal/similarity/testdata/fuzz/FuzzPairAt/sqrt-precision", i(46342), i(1073767410))
+
+	write("internal/similarity/testdata/fuzz/FuzzPackRows/three-features",
+		i(3), b([]byte{0, 1, 2, 1, 0, 2}))
+	write("internal/similarity/testdata/fuzz/FuzzPackRows/missing-cells",
+		i(1), b([]byte{255, 0, 255, 7}))
+	write("internal/similarity/testdata/fuzz/FuzzPackRows/word-boundary",
+		i(2), b([]byte{63, 64, 65, 0}))
+}
+
+func b(v []byte) string { return "[]byte(" + strconv.Quote(string(v)) + ")" }
+func s(v string) string { return "string(" + strconv.Quote(v) + ")" }
+func i(v int) string    { return fmt.Sprintf("int(%d)", v) }
+func fl(v float64) string {
+	return fmt.Sprintf("float64(%s)", strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func write(path string, values ...string) {
+	check(os.MkdirAll(filepath.Dir(path), 0o755))
+	var out bytes.Buffer
+	out.WriteString("go test fuzz v1\n")
+	for _, v := range values {
+		out.WriteString(v)
+		out.WriteByte('\n')
+	}
+	check(os.WriteFile(path, out.Bytes(), 0o644))
+	fmt.Println("wrote", path)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

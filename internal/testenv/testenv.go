@@ -1,0 +1,12 @@
+// Package testenv centralizes environment switches for the test suite, so
+// "is this the nightly deep run?" is one function instead of a per-package
+// os.Getenv convention drifting apart.
+package testenv
+
+import "os"
+
+// Nightly reports whether the deep nightly suite is requested (MCDC_NIGHTLY
+// set to any non-empty value). PR-time CI leaves it unset and runs cut-down
+// variants of the expensive tests; the scheduled nightly workflow—and anyone
+// reproducing it locally with MCDC_NIGHTLY=1—gets the full versions.
+func Nightly() bool { return os.Getenv("MCDC_NIGHTLY") != "" }

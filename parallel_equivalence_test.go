@@ -14,6 +14,7 @@ import (
 	"mcdc/internal/encoding"
 	"mcdc/internal/experiments"
 	"mcdc/internal/linkage"
+	"mcdc/internal/similarity"
 )
 
 func equalIntSlices(a, b []int) bool {
@@ -185,6 +186,56 @@ func TestChainLinkageEquivalence(t *testing.T) {
 			for _, k := range []int{2, 3, 5} {
 				if !equalIntSlices(oracle.Cut(k), chain.Cut(k)) {
 					t.Fatalf("%v: Cut(%d) differs between chain (workers=%d) and scan", method, k, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedPairwiseEquivalence pins the bit-packed popcount pairwise kernel
+// against the unpacked per-feature oracle on a real benchmark data set and on
+// synthetic mixes whose one-hot widths straddle the 64-bit word boundaries
+// (1, 63, 64, 65 total bits): every condensed cell must be bit-for-bit
+// identical at parallelism 1, 2, and GOMAXPROCS. Run under -race in CI
+// alongside the other equivalence gates.
+func TestPackedPairwiseEquivalence(t *testing.T) {
+	sets := map[string][][]int{}
+	if ds, err := mcdc.Builtin("Vot.", 1); err == nil {
+		sets["Vot."] = ds.Rows
+	} else {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for name, card := range map[string][]int{
+		"1bit":  {1},
+		"63bit": {31, 32},
+		"64bit": {31, 32, 1},
+		"65bit": {31, 32, 2},
+	} {
+		rows := make([][]int, 80)
+		for i := range rows {
+			row := make([]int, len(card))
+			for r, m := range card {
+				if rng.Intn(10) == 0 {
+					row[r] = -1 // categorical.Missing
+				} else {
+					row[r] = rng.Intn(m)
+				}
+			}
+			rows[i] = row
+		}
+		sets[name] = rows
+	}
+	for name, rows := range sets {
+		for _, workers := range []int{1, 2, 0} {
+			packed := similarity.PairwiseCondensed(rows, workers)
+			oracle := similarity.PairwiseCondensedUnpacked(rows, workers)
+			for i := 0; i < len(rows); i++ {
+				for j := i + 1; j < len(rows); j++ {
+					if got, want := packed.At(i, j), oracle.At(i, j); got != want {
+						t.Fatalf("%s workers=%d: packed (%d,%d) = %v, unpacked = %v",
+							name, workers, i, j, got, want)
+					}
 				}
 			}
 		}
