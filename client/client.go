@@ -34,6 +34,27 @@ import (
 // package's public surface depends only on internal/model.
 const wireContentType = "application/x-mcdc-frame"
 
+// RequestIDHeader is the correlation header the serving stack mints, accepts,
+// and echoes on every response (mirrors server.RequestIDHeader).
+const RequestIDHeader = "X-MCDC-Request-Id"
+
+// ctxKeyRequestID keys a caller-chosen request id inside a context.
+type ctxKeyRequestID struct{}
+
+// WithRequestID returns a context that makes every request issued under it
+// carry id in the X-MCDC-Request-Id header, so a caller can correlate its own
+// identifiers with server-side logs and traces. An empty id is ignored and
+// the server mints one instead.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID{}, id)
+}
+
+// requestIDFrom extracts the id planted by WithRequestID, if any.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
 // batchChunk is the row count per 'R' frame in binary batch streaming —
 // large enough to amortize framing, small enough to bound both sides'
 // memory per chunk.
@@ -132,10 +153,14 @@ func New(addr string, opts ...Option) *Client {
 // Retry-After delay. Any non-429 response returns to the caller, who owns
 // resp.Body.
 func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	reqID := requestIDFrom(ctx)
 	for attempt := 0; ; attempt++ {
 		req, err := build()
 		if err != nil {
 			return nil, err
+		}
+		if reqID != "" {
+			req.Header.Set(RequestIDHeader, reqID)
 		}
 		resp, err := c.hc.Do(req.WithContext(ctx))
 		if err != nil {

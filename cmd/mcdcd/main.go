@@ -44,11 +44,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -98,9 +100,47 @@ func run() error {
 		backends   = flag.String("backends", "", "comma-separated backend addresses: run as a consistent-hash gateway instead of serving models")
 		replicas   = flag.Int("ring-replicas", 128, "virtual nodes per backend on the gateway hash ring")
 		health     = flag.Duration("health", 5*time.Second, "gateway per-backend health-check interval (0 = disabled)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logSlow    = flag.Duration("log-slow", 0, "warn-log any request slower than this, with its request id (0 = disabled)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (never on the serving mux; empty = disabled)")
+		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Var(&models, "model", "serve a model snapshot as name=path (repeatable)")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("mcdcd %s %s\n", server.Version, runtime.Version())
+		return nil
+	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling endpoints
+		// must never ride the serving mux, where they would be one routing
+		// mistake away from the public API.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	var handler http.Handler
 	if *backends != "" {
@@ -111,13 +151,14 @@ func run() error {
 			Backends:    strings.Split(*backends, ","),
 			Replicas:    *replicas,
 			HealthEvery: *health,
-			Logf:        log.Printf,
+			Logger:      logger,
+			LogSlow:     *logSlow,
 		})
 		if err != nil {
 			return err
 		}
 		defer gw.Close()
-		log.Printf("gateway over %d backend(s): %s", len(gw.Backends()), strings.Join(gw.Backends(), ", "))
+		logger.Info("gateway mode", "backends", strings.Join(gw.Backends(), ","), "count", len(gw.Backends()))
 		handler = gw.Handler()
 	} else {
 		srv, err := server.New(server.Config{
@@ -134,7 +175,8 @@ func run() error {
 			MaxInFlight:          *maxInfl,
 			QueueDepth:           *queueDepth,
 			RetryAfter:           *retryAfter,
-			Logf:                 log.Printf,
+			Logger:               logger,
+			LogSlow:              *logSlow,
 		})
 		if err != nil {
 			return err
@@ -148,7 +190,7 @@ func run() error {
 			}
 		}
 		if len(models) == 0 {
-			log.Printf("no -model given; starting empty (load models via POST /models)")
+			logger.Info("no -model given; starting empty (load models via POST /models)")
 		}
 		handler = srv.Handler()
 	}
@@ -177,7 +219,7 @@ func run() error {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(ctx)
@@ -186,5 +228,24 @@ func run() error {
 			return nil
 		}
 		return err
+	}
+}
+
+// buildLogger constructs the daemon's slog.Logger from -log-format and
+// -log-level. Logs go to stderr so stdout stays reserved for the resolved
+// listen address, which wait-for-ready scripts parse.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: l}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
 }

@@ -51,7 +51,20 @@ type Report struct {
 	RowsPerSec  float64 `json:"rows_per_sec"`
 	Latency     Quants  `json:"latency"`
 	Histogram   []Bin   `json:"histogram"`
+	// Slowest lists the worst requests by latency with the request ids the
+	// run stamped on them (X-MCDC-Request-Id), so a bad tail quantile can be
+	// chased straight into the daemon's slow-request log.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 }
+
+// SlowRequest pairs a request id with its observed latency.
+type SlowRequest struct {
+	RequestID string  `json:"request_id"`
+	Ms        float64 `json:"ms"`
+}
+
+// slowestN bounds how many worst-case requests the report names.
+const slowestN = 5
 
 // Quants are request-latency quantiles in milliseconds.
 type Quants struct {
@@ -145,6 +158,7 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 	extra := n % conc
 	type workerOut struct {
 		lats   []time.Duration
+		ids    []string // aligned with lats: the request id sent with each request
 		rows   int64
 		reqs   int64
 		errs   int64
@@ -171,9 +185,17 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 				}
 				return row
 			}
-			record := func(nRows int, d time.Duration, err error) {
+			// Each request carries a deterministic id (worker × request
+			// ordinal) via X-MCDC-Request-Id, so the Slowest entries of the
+			// report line up with the daemon's slow-request log.
+			nextID := func() (string, context.Context) {
+				id := fmt.Sprintf("load-%d-w%d-r%d", seed, w, o.reqs)
+				return id, client.WithRequestID(ctx, id)
+			}
+			record := func(id string, nRows int, d time.Duration, err error) {
 				o.reqs++
 				o.lats = append(o.lats, d)
+				o.ids = append(o.ids, id)
 				if err != nil {
 					o.errs++
 					if client.IsCode(err, "overloaded") {
@@ -197,9 +219,10 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 					for i := range rows {
 						rows[i] = newRow()
 					}
+					id, rctx := nextID()
 					t0 := time.Now()
-					_, err := c.AssignBatch(ctx, modelName, rows)
-					record(size, time.Since(t0), err)
+					_, err := c.AssignBatch(rctx, modelName, rows)
+					record(id, size, time.Since(t0), err)
 				}
 			case proto == "binary":
 				// Pipeline singles in chunks, the persistent-connection
@@ -213,16 +236,18 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 					for i := range rows {
 						rows[i] = newRow()
 					}
+					id, rctx := nextID()
 					t0 := time.Now()
-					_, err := c.AssignMany(ctx, modelName, rows)
-					record(size, time.Since(t0), err)
+					_, err := c.AssignMany(rctx, modelName, rows)
+					record(id, size, time.Since(t0), err)
 				}
 			default:
 				for done := 0; done < quota; done++ {
 					row := newRow()
+					id, rctx := nextID()
 					t0 := time.Now()
-					_, err := c.Assign(ctx, modelName, row)
-					record(1, time.Since(t0), err)
+					_, err := c.Assign(rctx, modelName, row)
+					record(id, 1, time.Since(t0), err)
 				}
 			}
 		}(w, quota)
@@ -235,12 +260,16 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 		Concurrency: conc, BatchSize: batch, Seconds: elapsed.Seconds(),
 	}
 	var lats []time.Duration
+	var slow []SlowRequest
 	for w := range outs {
 		rep.Requests += outs[w].reqs
 		rep.Rows += outs[w].rows
 		rep.Errors += outs[w].errs
 		rep.Sheds += outs[w].sheds
 		lats = append(lats, outs[w].lats...)
+		for i, d := range outs[w].lats {
+			slow = append(slow, SlowRequest{RequestID: outs[w].ids[i], Ms: float64(d) / float64(time.Millisecond)})
+		}
 	}
 	if rep.Seconds > 0 {
 		rep.RowsPerSec = float64(rep.Rows) / rep.Seconds
@@ -248,6 +277,18 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	rep.Latency = quantiles(lats)
 	rep.Histogram = histogram(lats)
+	// Worst requests first; ties break on id so the report is stable for a
+	// fixed latency profile.
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].Ms != slow[j].Ms {
+			return slow[i].Ms > slow[j].Ms
+		}
+		return slow[i].RequestID < slow[j].RequestID
+	})
+	if len(slow) > slowestN {
+		slow = slow[:slowestN]
+	}
+	rep.Slowest = slow
 	return rep, nil
 }
 

@@ -106,7 +106,13 @@ func (s *Server) admit(fn http.HandlerFunc) http.HandlerFunc {
 		return fn
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		switch s.admission.acquire(r.Context()) {
+		waitStart := time.Now()
+		outcome := s.admission.acquire(r.Context())
+		// Queue wait is recorded for every outcome: an admitted request's time
+		// to a slot, and a canceled one's time to abandonment, are both real
+		// waits an operator wants in the stage histogram.
+		s.metrics.queueWait.observe(time.Since(waitStart))
+		switch outcome {
 		case shedOverload:
 			w.Header().Set("Retry-After", strconv.Itoa(s.admission.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, codeOverloaded,

@@ -49,6 +49,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError emits the structured error envelope with the given stable code.
+// When the writer is the instrumented statusWriter, the code is also handed
+// to it so the request log line can carry the machine-readable failure.
 func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	if ec, ok := w.(interface{ setErrorCode(string) }); ok {
+		ec.setErrorCode(code)
+	}
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }

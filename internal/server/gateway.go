@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -54,6 +55,8 @@ type Gateway struct {
 	probe  *http.Client
 	mux    *http.ServeMux
 	httpm  *httpMetrics
+	obs    *obs // request ids + structured request logging
+	log    *slog.Logger
 	start  time.Time
 	up     map[string]*atomic.Bool  // health-check verdict per backend
 	sheds  map[string]*atomic.Int64 // 429s observed per backend (admission sheds)
@@ -76,8 +79,11 @@ type GatewayConfig struct {
 	HealthEvery time.Duration
 	// Timeout bounds each proxied backend request (0 → 30s).
 	Timeout time.Duration
-	// Logf, when set, receives operational log lines.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational and request logs (nil = silent).
+	Logger *slog.Logger
+	// LogSlow logs any request slower than this at Warn level, with its
+	// request id, endpoint, status, and duration (0 disables).
+	LogSlow time.Duration
 }
 
 // NewGateway builds a gateway over the configured backends and starts its
@@ -109,11 +115,13 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		probe:    &http.Client{Timeout: 2 * time.Second},
 		mux:      http.NewServeMux(),
 		httpm:    newHTTPMetrics(),
+		obs:      newObs(cfg.Logger, cfg.LogSlow),
 		start:    time.Now(),
 		up:       make(map[string]*atomic.Bool, len(backends)),
 		sheds:    make(map[string]*atomic.Int64, len(backends)),
 		stop:     make(chan struct{}),
 	}
+	g.log = g.obs.log
 	g.ring.Add(backends...)
 	for _, b := range backends {
 		up := &atomic.Bool{}
@@ -141,19 +149,13 @@ func (g *Gateway) Handler() http.Handler { return g.mux }
 // Backends returns the (sorted) backend membership.
 func (g *Gateway) Backends() []string { return append([]string(nil), g.backends...) }
 
-func (g *Gateway) logf(format string, args ...any) {
-	if g.cfg.Logf != nil {
-		g.cfg.Logf(format, args...)
-	}
-}
-
 func (g *Gateway) routes() {
 	// Mirrors Server.handle: the canonical /v1 route plus the pre-versioning
 	// alias, both behind one counter labeled by the canonical pattern.
 	handle := func(pattern string, fn http.HandlerFunc) {
 		method, path, _ := strings.Cut(pattern, " ")
 		canonical := method + " /v1" + path
-		h := g.httpm.instrument(canonical, fn)
+		h := g.httpm.instrument(canonical, g.obs, fn)
 		g.mux.HandleFunc(canonical, h)
 		g.mux.HandleFunc(pattern, h)
 	}
@@ -213,17 +215,18 @@ func rowKey(model string, row []int) string {
 
 // ---- proxying ----
 
-// do performs one backend JSON request and returns the response status,
-// body, and headers.
-func (g *Gateway) do(method, backend, path string, body []byte) (status int, data []byte, hdr http.Header, err error) {
-	return g.doCT(g.client, method, backend, path, body, "application/json")
+// do performs one backend JSON request — propagating the caller's
+// correlation id when one is given — and returns the response status, body,
+// and headers.
+func (g *Gateway) do(method, backend, path string, body []byte, reqID string) (status int, data []byte, hdr http.Header, err error) {
+	return g.doCT(g.client, method, backend, path, body, "application/json", reqID)
 }
 
-func (g *Gateway) doWith(client *http.Client, method, backend, path string, body []byte) (status int, data []byte, hdr http.Header, err error) {
-	return g.doCT(client, method, backend, path, body, "application/json")
+func (g *Gateway) doWith(client *http.Client, method, backend, path string, body []byte, reqID string) (status int, data []byte, hdr http.Header, err error) {
+	return g.doCT(client, method, backend, path, body, "application/json", reqID)
 }
 
-func (g *Gateway) doCT(client *http.Client, method, backend, path string, body []byte, ctype string) (status int, data []byte, hdr http.Header, err error) {
+func (g *Gateway) doCT(client *http.Client, method, backend, path string, body []byte, ctype, reqID string) (status int, data []byte, hdr http.Header, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -234,6 +237,9 @@ func (g *Gateway) doCT(client *http.Client, method, backend, path string, body [
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", ctype)
+	}
+	if reqID != "" {
+		req.Header.Set(RequestIDHeader, reqID)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -276,14 +282,19 @@ func relay(w http.ResponseWriter, status int, hdr http.Header, data []byte) {
 // forward proxies one request to a backend and relays the response verbatim
 // — the routed single-backend paths answer byte-identically to hitting that
 // backend directly.
-func (g *Gateway) forward(w http.ResponseWriter, method, backend, path string, body []byte) {
-	status, data, hdr, err := g.do(method, backend, path, body)
+func (g *Gateway) forward(w http.ResponseWriter, method, backend, path string, body []byte, reqID string) {
+	status, data, hdr, err := g.do(method, backend, path, body, reqID)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", backend, err)
 		return
 	}
 	relay(w, status, hdr, data)
 }
+
+// reqIDOf reads the request's correlation id. The instrumentation middleware
+// has already resolved it (accepted or minted) onto r.Header, so every
+// handler forwards the exact id the gateway echoes and logs.
+func reqIDOf(r *http.Request) string { return r.Header.Get(RequestIDHeader) }
 
 // readBody slurps a request body (bounded), reporting decode-style errors
 // the same way the backend would.
@@ -318,7 +329,7 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "request names neither a model nor a session")
 		return
 	}
-	g.forward(w, http.MethodPost, g.ring.Get(key), "/v1/assign", raw)
+	g.forward(w, http.MethodPost, g.ring.Get(key), "/v1/assign", raw, reqIDOf(r))
 }
 
 func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -333,12 +344,12 @@ func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	// An empty session id routes like any other key; the owning backend's
 	// validation rejects it with the same error a direct client would see.
-	g.forward(w, http.MethodPost, g.ring.Get(sessionKey(req.Session)), "/v1/sessions", raw)
+	g.forward(w, http.MethodPost, g.ring.Get(sessionKey(req.Session)), "/v1/sessions", raw, reqIDOf(r))
 }
 
 func (g *Gateway) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	g.forward(w, http.MethodDelete, g.ring.Get(sessionKey(id)), "/v1/sessions/"+id, nil)
+	g.forward(w, http.MethodDelete, g.ring.Get(sessionKey(id)), "/v1/sessions/"+id, nil, reqIDOf(r))
 }
 
 // handleAssignBatch scatters a batch across the fleet by row key and gathers
@@ -366,9 +377,10 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 		b := g.ring.Get(rowKey(req.Model, row))
 		groups[b] = append(groups[b], i)
 	}
+	reqID := reqIDOf(r)
 	if len(groups) == 1 {
 		for b := range groups {
-			g.forward(w, http.MethodPost, b, "/v1/assign/batch", raw)
+			g.forward(w, http.MethodPost, b, "/v1/assign/batch", raw, reqID)
 			return
 		}
 	}
@@ -400,7 +412,7 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 			body, err := json.Marshal(sub)
 			res := &result{err: err}
 			if err == nil {
-				res.status, res.data, res.hdr, res.err = g.do(http.MethodPost, b, "/v1/assign/batch", body)
+				res.status, res.data, res.hdr, res.err = g.do(http.MethodPost, b, "/v1/assign/batch", body, reqID)
 			}
 			if res.err == nil && res.status == http.StatusOK {
 				res.err = json.Unmarshal(res.data, &res.resp)
@@ -444,7 +456,7 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 
 // broadcast sends the same request to every backend in sorted order and
 // returns the per-backend outcomes.
-func (g *Gateway) broadcast(method, path string, body []byte) (statuses []int, bodies [][]byte, errs []error) {
+func (g *Gateway) broadcast(method, path string, body []byte, reqID string) (statuses []int, bodies [][]byte, errs []error) {
 	statuses = make([]int, len(g.backends))
 	bodies = make([][]byte, len(g.backends))
 	errs = make([]error, len(g.backends))
@@ -453,7 +465,7 @@ func (g *Gateway) broadcast(method, path string, body []byte) (statuses []int, b
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
-			statuses[i], bodies[i], _, errs[i] = g.do(method, b, path, body)
+			statuses[i], bodies[i], _, errs[i] = g.do(method, b, path, body, reqID)
 		}(i, b)
 	}
 	wg.Wait()
@@ -489,17 +501,17 @@ func (g *Gateway) handleBroadcastModels(w http.ResponseWriter, r *http.Request) 
 	if !ok {
 		return
 	}
-	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/models", raw)
+	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/models", raw, reqIDOf(r))
 	g.relayBroadcast(w, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
-	statuses, bodies, errs := g.broadcast(http.MethodDelete, "/v1/models/"+r.PathValue("name"), nil)
+	statuses, bodies, errs := g.broadcast(http.MethodDelete, "/v1/models/"+r.PathValue("name"), nil, reqIDOf(r))
 	g.relayBroadcast(w, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/checkpoint", nil)
+	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/checkpoint", nil, reqIDOf(r))
 	g.relayBroadcast(w, statuses, bodies, errs)
 }
 
@@ -507,11 +519,11 @@ func (g *Gateway) handleListModels(w http.ResponseWriter, r *http.Request) {
 	// Fleet-identical state: any healthy backend answers for all.
 	for _, b := range g.backends {
 		if g.up[b].Load() {
-			g.forward(w, http.MethodGet, b, "/v1/models", nil)
+			g.forward(w, http.MethodGet, b, "/v1/models", nil, reqIDOf(r))
 			return
 		}
 	}
-	g.forward(w, http.MethodGet, g.backends[0], "/v1/models", nil)
+	g.forward(w, http.MethodGet, g.backends[0], "/v1/models", nil, reqIDOf(r))
 }
 
 // ---- health and metrics ----
@@ -532,13 +544,13 @@ func (g *Gateway) healthLoop() {
 				wg.Add(1)
 				go func(b string) {
 					defer wg.Done()
-					status, _, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil)
+					status, _, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil, "")
 					healthy := err == nil && status == http.StatusOK
 					if was := g.up[b].Swap(healthy); was != healthy {
 						if healthy {
-							g.logf("backend %s recovered", b)
+							g.log.Info("backend recovered", "backend", b)
 						} else {
-							g.logf("backend %s went down: status=%d err=%v", b, status, err)
+							g.log.Warn("backend went down", "backend", b, "status", status, "err", err)
 						}
 					}
 				}(b)
@@ -570,7 +582,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
-			status, data, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil)
+			status, data, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil, reqIDOf(r))
 			if err == nil && status == http.StatusOK {
 				probed[i].Up = true
 				var inner struct {
@@ -628,15 +640,17 @@ func (g *Gateway) handleRing(w http.ResponseWriter, r *http.Request) {
 // handleMetrics sums every backend's Prometheus series and appends the
 // gateway's own counters, so one scrape sees fleet-wide traffic.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	_, bodies, errs := g.broadcast(http.MethodGet, "/v1/metrics", nil)
+	_, bodies, errs := g.broadcast(http.MethodGet, "/v1/metrics", nil, reqIDOf(r))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	reachable := make([][]byte, 0, len(bodies))
+	sources := make([]string, 0, len(bodies))
 	for i := range bodies {
 		if errs[i] == nil {
 			reachable = append(reachable, bodies[i])
+			sources = append(sources, g.backends[i])
 		}
 	}
-	_, _ = w.Write(aggregateMetrics(reachable))
+	_, _ = w.Write(aggregateMetrics(reachable, sources))
 	fmt.Fprintf(w, "# HELP mcdcd_gateway_backend_up Last health verdict per backend (1 = up).\n# TYPE mcdcd_gateway_backend_up gauge\n")
 	for i, b := range g.backends {
 		v := 0
@@ -649,28 +663,58 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, b := range g.backends {
 		fmt.Fprintf(w, "mcdcd_gateway_backend_sheds_total{backend=%q} %d\n", b, g.sheds[b].Load())
 	}
-	g.httpm.write(w, "mcdcd_gateway_http_requests_total", "mcdcd_gateway_http_errors_total")
+	g.httpm.write(w, "mcdcd_gateway_http_requests_total", "mcdcd_gateway_http_errors_total", "mcdcd_gateway_http_request_duration_seconds")
 	fmt.Fprintf(w, "# HELP mcdcd_gateway_uptime_seconds Gateway uptime.\n# TYPE mcdcd_gateway_uptime_seconds gauge\nmcdcd_gateway_uptime_seconds %g\n", time.Since(g.start).Seconds())
+	writeRuntimeMetrics(w, "mcdcd_gateway")
+	writeBuildInfo(w, "mcdcd_gateway_build_info")
 }
 
 // maxAggregated lists the metric families whose per-backend values describe
 // the same fleet-wide fact rather than additive shares of it: every backend
-// serves the same snapshot, so its epoch is the fleet's epoch, and summing
-// uptimes fabricates a number no process ever had. These take the max across
-// backends; everything else — counters and additive gauges like live session
-// counts — sums.
+// serves the same snapshot, so its epoch is the fleet's epoch; summing
+// uptimes fabricates a number no process ever had; and a fleet on one build
+// has one version (N × "1" would read as a broken gauge). These take the max
+// across backends; everything else — counters and additive gauges like live
+// session counts — sums.
 var maxAggregated = map[string]bool{
 	"mcdcd_model_epoch":    true,
 	"mcdcd_uptime_seconds": true,
+	"mcdcd_build_info":     true,
+}
+
+// perBackendLabeled lists instantaneous point-in-time gauges whose sum across
+// backends answers no operational question (a fleet-wide "queue depth 7"
+// hides which backend is drowning). Instead of summing, the aggregator keeps
+// each backend's sample as its own series with an injected backend label.
+var perBackendLabeled = map[string]bool{
+	"mcdcd_queue_depth":      true,
+	"mcdcd_inflight":         true,
+	"mcdcd_goroutines":       true,
+	"mcdcd_heap_alloc_bytes": true,
+}
+
+// injectLabel rewrites a series key to carry key=val as its first label.
+func injectLabel(series, key, val string) string {
+	name, rest := series, ""
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		name, rest = series[:i], series[i+1:len(series)-1]
+	}
+	if rest == "" {
+		return fmt.Sprintf("%s{%s=%q}", name, key, val)
+	}
+	return fmt.Sprintf("%s{%s=%q,%s}", name, key, val, rest)
 }
 
 // aggregateMetrics merges Prometheus text expositions series-by-series:
-// sample lines with the same name+labels sum (or max, per maxAggregated),
-// HELP/TYPE headers are kept once (from the first backend exposing them),
-// and series order follows first appearance. Histogram-free exposition
-// (counters, gauges, summaries without quantiles — everything mcdcd emits)
-// aggregates correctly this way.
-func aggregateMetrics(bodies [][]byte) []byte {
+// sample lines with the same name+labels sum (or max, per maxAggregated; or
+// split into per-backend series, per perBackendLabeled), HELP/TYPE headers
+// are kept once (from the first backend exposing them), and series order
+// follows first appearance. Histograms merge bucket-by-bucket — every
+// backend emits the identical precomputed `le` ladder (histogram.go), so
+// same-labeled _bucket series line up exactly and _sum/_count stay
+// consistent with the merged buckets. sources names the backend behind each
+// body (aligned by index; used for the per-backend label injection).
+func aggregateMetrics(bodies [][]byte, sources []string) []byte {
 	type family struct {
 		meta []string // HELP/TYPE lines, first exposure wins
 	}
@@ -687,7 +731,11 @@ func aggregateMetrics(bodies [][]byte) []byte {
 		}
 		return series
 	}
-	for _, body := range bodies {
+	for bi, body := range bodies {
+		src := ""
+		if bi < len(sources) {
+			src = sources[bi]
+		}
 		for _, line := range strings.Split(string(body), "\n") {
 			line = strings.TrimRight(line, "\r")
 			if line == "" {
@@ -727,6 +775,9 @@ func aggregateMetrics(bodies [][]byte) []byte {
 			if err != nil {
 				continue
 			}
+			if src != "" && perBackendLabeled[metricName(series)] {
+				series = injectLabel(series, "backend", src)
+			}
 			first := false
 			if _, ok := sums[series]; !ok {
 				first = true
@@ -748,14 +799,14 @@ func aggregateMetrics(bodies [][]byte) []byte {
 			}
 		}
 	}
-	// A summary family's samples carry _sum/_count suffixes while its
-	// HELP/TYPE lines are registered under the base name — resolve through
-	// the suffix so the metadata survives aggregation.
+	// A histogram or summary family's samples carry _bucket/_sum/_count
+	// suffixes while its HELP/TYPE lines are registered under the base name —
+	// resolve through the suffix so the metadata survives aggregation.
 	metaFamily := func(fam string) string {
 		if _, ok := families[fam]; ok {
 			return fam
 		}
-		for _, suffix := range []string{"_sum", "_count"} {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 			if base := strings.TrimSuffix(fam, suffix); base != fam {
 				if _, ok := families[base]; ok {
 					return base
@@ -764,23 +815,33 @@ func aggregateMetrics(bodies [][]byte) []byte {
 		}
 		return fam
 	}
-	var out bytes.Buffer
-	emittedMeta := make(map[string]bool)
+	// Group the output by family, not by global first-seen order: a series
+	// that only a later backend contributed (e.g. its backend-labeled gauge)
+	// must still sit inside its family's block — the exposition format
+	// requires a family's samples to be contiguous.
+	var famOrder []string
+	famSeries := make(map[string][]string)
 	for _, series := range seriesOrder {
 		fam := metaFamily(seriesFamily[series])
-		if !emittedMeta[fam] {
-			emittedMeta[fam] = true
-			if f, ok := families[fam]; ok {
-				for _, m := range f.meta {
-					out.WriteString(m)
-					out.WriteByte('\n')
-				}
+		if _, ok := famSeries[fam]; !ok {
+			famOrder = append(famOrder, fam)
+		}
+		famSeries[fam] = append(famSeries[fam], series)
+	}
+	var out bytes.Buffer
+	for _, fam := range famOrder {
+		if f, ok := families[fam]; ok {
+			for _, m := range f.meta {
+				out.WriteString(m)
+				out.WriteByte('\n')
 			}
 		}
-		if ints[series] {
-			fmt.Fprintf(&out, "%s %d\n", series, int64(sums[series]))
-		} else {
-			fmt.Fprintf(&out, "%s %g\n", series, sums[series])
+		for _, series := range famSeries[fam] {
+			if ints[series] {
+				fmt.Fprintf(&out, "%s %d\n", series, int64(sums[series]))
+			} else {
+				fmt.Fprintf(&out, "%s %g\n", series, sums[series])
+			}
 		}
 	}
 	return out.Bytes()

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -276,7 +278,7 @@ func TestAggregateMetrics(t *testing.T) {
 	b := "# HELP x_total Things.\n# TYPE x_total counter\nx_total 4\n" +
 		"x_by{k=\"b\"} 2\nlat_seconds_sum 0.25\nlat_seconds_count 1\n" +
 		"mcdcd_model_epoch{model=\"m\"} 2\nmcdcd_uptime_seconds 40.25\n"
-	out := string(aggregateMetrics([][]byte{[]byte(a), []byte(b)}))
+	out := string(aggregateMetrics([][]byte{[]byte(a), []byte(b)}, nil))
 	for _, want := range []string{
 		"x_total 7\n",
 		`x_by{k="a"} 1`,
@@ -297,5 +299,109 @@ func TestAggregateMetrics(t *testing.T) {
 	}
 	if strings.Count(out, "# HELP x_total") != 1 {
 		t.Errorf("HELP duplicated:\n%s", out)
+	}
+}
+
+// TestAggregateMetricsHistograms pins bucket-by-bucket histogram merging:
+// backends emit byte-identical le labels (precomputed in histLe), so the
+// gateway sums each bucket as an ordinary labeled series, and _sum/_count
+// stay consistent with the merged buckets.
+func TestAggregateMetricsHistograms(t *testing.T) {
+	var ha, hb histogram
+	ha.observe(150 * time.Microsecond) // bin le=0.0002
+	ha.observe(3 * time.Millisecond)
+	hb.observe(150 * time.Microsecond)
+	hb.observe(40 * time.Millisecond)
+	hb.observe(40 * time.Millisecond)
+	render := func(h *histogram) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("# HELP lat_seconds L.\n# TYPE lat_seconds histogram\n")
+		h.writeTo(&buf, "lat_seconds", "")
+		return buf.Bytes()
+	}
+	out := string(aggregateMetrics([][]byte{render(&ha), render(&hb)}, nil))
+
+	// Every bucket of the merged output must equal the sum of the two
+	// backends' buckets, cumulative and monotone, with +Inf == _count.
+	wantCount := ha.count() + hb.count()
+	var lastLe float64
+	var lastCum, infCum int64 = -1, -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket{le=\"") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "lat_seconds_bucket{le=\"")
+		leStr, valStr, ok := strings.Cut(rest, "\"} ")
+		if !ok {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		cum, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", line, err)
+		}
+		if cum < lastCum && leStr != "+Inf" {
+			t.Errorf("bucket counts not monotone at le=%s: %d < %d", leStr, cum, lastCum)
+		}
+		if leStr == "+Inf" {
+			infCum = cum
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("le label %q: %v", line, err)
+		}
+		if le <= lastLe {
+			t.Errorf("le bounds not increasing: %g after %g", le, lastLe)
+		}
+		lastLe, lastCum = le, cum
+	}
+	if infCum != wantCount {
+		t.Errorf("+Inf bucket %d != total observations %d\n%s", infCum, wantCount, out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("lat_seconds_count %d\n", wantCount)) {
+		t.Errorf("merged _count != %d:\n%s", wantCount, out)
+	}
+	// Spot-check one shared bucket actually summed: both backends saw 150µs,
+	// so the first nonzero bucket holds 2.
+	if !strings.Contains(out, `lat_seconds_bucket{le="0.0002"} 2`) {
+		t.Errorf("shared 150µs bucket did not merge to 2:\n%s", out)
+	}
+}
+
+// TestAggregateMetricsPerBackendGauges pins the gauge bugfix: point-in-time
+// gauges like queue depth must not be summed into a meaningless fleet total —
+// each backend's sample survives under a backend label instead.
+func TestAggregateMetricsPerBackendGauges(t *testing.T) {
+	a := "# HELP mcdcd_queue_depth Q.\n# TYPE mcdcd_queue_depth gauge\nmcdcd_queue_depth 3\n" +
+		"mcdcd_inflight 2\nmcdcd_assign_total 10\n" +
+		"mcdcd_build_info{version=\"0.8.0\",go_version=\"go1.22\"} 1\n"
+	b := "# HELP mcdcd_queue_depth Q.\n# TYPE mcdcd_queue_depth gauge\nmcdcd_queue_depth 5\n" +
+		"mcdcd_inflight 1\nmcdcd_assign_total 4\n" +
+		"mcdcd_build_info{version=\"0.8.0\",go_version=\"go1.22\"} 1\n"
+	out := string(aggregateMetrics(
+		[][]byte{[]byte(a), []byte(b)},
+		[]string{"127.0.0.1:9001", "127.0.0.1:9002"},
+	))
+	for _, want := range []string{
+		// Per-backend labeling instead of a sum.
+		`mcdcd_queue_depth{backend="127.0.0.1:9001"} 3`,
+		`mcdcd_queue_depth{backend="127.0.0.1:9002"} 5`,
+		`mcdcd_inflight{backend="127.0.0.1:9001"} 2`,
+		`mcdcd_inflight{backend="127.0.0.1:9002"} 1`,
+		// Counters still sum.
+		"mcdcd_assign_total 14\n",
+		// build_info is fleet-identical: max keeps the value at 1.
+		`mcdcd_build_info{version="0.8.0",go_version="go1.22"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate missing %q:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{
+		"mcdcd_queue_depth 8", "mcdcd_inflight 3", `go_version="go1.22"} 2`,
+	} {
+		if strings.Contains(out, reject) {
+			t.Errorf("aggregate wrongly contains %q:\n%s", reject, out)
+		}
 	}
 }

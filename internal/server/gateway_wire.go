@@ -102,9 +102,10 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	reqID := reqIDOf(r)
 	if len(groups) == 1 && !local {
 		for b := range groups {
-			g.forwardWire(w, b, "/v1/assign", raw)
+			g.forwardWire(w, b, "/v1/assign", raw, reqID)
 			return
 		}
 	}
@@ -130,7 +131,7 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 				_ = model.WriteFrame(&body, model.FrameAssign, frames[i].payload)
 			}
 			res := &result{}
-			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType)
+			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType, reqID)
 			if res.err == nil && res.status == http.StatusOK {
 				res.frames, res.err = parseWireStream(res.data)
 				if res.err == nil && len(res.frames) != len(groups[b]) {
@@ -230,6 +231,7 @@ func (g *Gateway) handleAssignBatchWire(w http.ResponseWriter, r *http.Request) 
 		b := g.ring.Get(rowKey(modelName, row))
 		groups[b] = append(groups[b], i)
 	}
+	reqID := reqIDOf(r)
 	if len(groups) <= 1 {
 		// One owner — or an empty batch, which any backend rejects the same
 		// way. Forward raw; relay raw.
@@ -237,7 +239,7 @@ func (g *Gateway) handleAssignBatchWire(w http.ResponseWriter, r *http.Request) 
 		for gb := range groups {
 			b = gb
 		}
-		g.forwardWire(w, b, "/v1/assign/batch", raw)
+		g.forwardWire(w, b, "/v1/assign/batch", raw, reqID)
 		return
 	}
 
@@ -267,7 +269,7 @@ func (g *Gateway) handleAssignBatchWire(w http.ResponseWriter, r *http.Request) 
 			_ = model.WriteFrame(&body, model.FrameRows, model.AppendRows(nil, sub))
 			_ = model.WriteFrame(&body, model.FrameEnd, nil)
 			res := &result{}
-			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign/batch", body.Bytes(), WireContentType)
+			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign/batch", body.Bytes(), WireContentType, reqID)
 			if res.err == nil && res.status == http.StatusOK {
 				res.epoch, res.results, res.err = parseBatchReply(res.data, len(groups[b]))
 			}
@@ -356,8 +358,8 @@ func parseBatchReply(data []byte, want int) (epoch int, results []model.Assignme
 
 // forwardWire forwards raw frame bytes to one backend and relays the raw
 // response — the byte-identity fast path.
-func (g *Gateway) forwardWire(w http.ResponseWriter, backend, path string, body []byte) {
-	status, data, hdr, err := g.doCT(g.client, http.MethodPost, backend, path, body, WireContentType)
+func (g *Gateway) forwardWire(w http.ResponseWriter, backend, path string, body []byte, reqID string) {
+	status, data, hdr, err := g.doCT(g.client, http.MethodPost, backend, path, body, WireContentType, reqID)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", backend, err)
 		return

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free, alloc-free latency histogram: a fixed array of
+// atomic bins over doubling bounds. The bin scheme is shared with
+// cmd/mcdcload's client-side histogram — bounds double from 0.1ms for
+// histBins steps (0.1ms · 2^20 ≈ 104.9s, the same "up to ~102s" ladder the
+// load harness reports in milliseconds) — so a server-side exposition and a
+// client-side report bucket identical latencies identically and the gateway
+// can merge backend expositions bucket-by-bucket.
+//
+// Recording is one bit-length computation plus two atomic adds: nothing on
+// the assign hot path takes a lock or allocates (pinned by AllocsPerRun in
+// histogram_test.go).
+const (
+	// histMinNanos is the first bucket bound: 0.1ms, mcdcload's first bin.
+	histMinNanos = 100_000
+	// histBins is the count of finite doubling bounds; observations past the
+	// last bound land in the +Inf overflow bucket.
+	histBins = 21
+)
+
+type histogram struct {
+	// buckets holds per-bin (non-cumulative) counts; index histBins is the
+	// +Inf overflow bin. The exposition accumulates them into the cumulative
+	// counts Prometheus histograms require.
+	buckets [histBins + 1]atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// histLe holds the `le` label value of every finite bucket, in seconds,
+// precomputed so writing an exposition never reformats floats and every
+// backend emits byte-identical labels (the property the gateway's
+// bucket-by-bucket merge relies on).
+var histLe = func() [histBins]string {
+	var out [histBins]string
+	for i := range out {
+		out[i] = strconv.FormatFloat(float64(int64(histMinNanos)<<i)/1e9, 'g', -1, 64)
+	}
+	return out
+}()
+
+// observe records one duration. Lock-free and alloc-free: the bucket index
+// is the bit length of the ceiling ratio to the first bound.
+func (h *histogram) observe(d time.Duration) {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	i := histBins // +Inf
+	if n <= histMinNanos<<(histBins-1) {
+		// The first doubling bound ≥ n: ceil(n/min) rounded up to the next
+		// power of two, i.e. the bit length of (ceil(n/min) - 1).
+		q := uint64(n+histMinNanos-1) / histMinNanos
+		if q <= 1 {
+			i = 0
+		} else {
+			i = bits.Len64(q - 1)
+		}
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(n)
+}
+
+// count is the total number of observations.
+func (h *histogram) count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// writeTo emits the histogram's sample lines — cumulative _bucket series,
+// _sum, _count — under name, with labels (e.g. `stage="assign"`) prepended
+// to the le label when non-empty. HELP/TYPE are the caller's job: several
+// labeled histograms may share one family.
+func (h *histogram) writeTo(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i := 0; i < histBins; i++ {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, histLe[i], cum)
+	}
+	cum += h.buckets[histBins].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, float64(h.sum.Load())/1e9, name, cum)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, float64(h.sum.Load())/1e9, name, labels, cum)
+}

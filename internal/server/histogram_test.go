@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramBinSchemeMatchesLoadHarness pins the cross-tool contract: the
+// server histogram's bucket bounds are the same doubling ladder cmd/mcdcload
+// reports (0.1ms doubling while < 120s), so a server-side exposition and a
+// client-side load report bucket identical latencies identically.
+func TestHistogramBinSchemeMatchesLoadHarness(t *testing.T) {
+	var wantMs []float64
+	for ms := 0.1; ms < 120_000; ms *= 2 {
+		wantMs = append(wantMs, ms)
+	}
+	if len(wantMs) != histBins {
+		t.Fatalf("mcdcload ladder has %d bounds, server histogram has %d", len(wantMs), histBins)
+	}
+	for i, ms := range wantMs {
+		got, err := strconv.ParseFloat(histLe[i], 64)
+		if err != nil {
+			t.Fatalf("histLe[%d] = %q: %v", i, histLe[i], err)
+		}
+		want := ms / 1e3 // the exposition is in seconds
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("bound %d: server %g s, load harness %g s", i, got, want)
+		}
+	}
+}
+
+// TestHistogramBinning pins edge binning: zero, exact bounds, just-past
+// bounds, and overflow into +Inf.
+func TestHistogramBinning(t *testing.T) {
+	cases := []struct {
+		d   time.Duration
+		bin int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clamped, never a panic or a lost sample
+		{50 * time.Microsecond, 0},
+		{100 * time.Microsecond, 0}, // exactly the first bound is inside it
+		{100*time.Microsecond + time.Nanosecond, 1},                   // just past it
+		{200 * time.Microsecond, 1},                                   // exactly on the second bound
+		{300 * time.Microsecond, 2},                                   // between bounds rounds up
+		{time.Duration(histMinNanos) << (histBins - 1), histBins - 1}, // exactly the last finite bound
+		{time.Duration(histMinNanos)<<(histBins-1) + 1, histBins},     // overflow: +Inf
+		{time.Hour, histBins},
+	}
+	for _, tc := range cases {
+		var h histogram
+		h.observe(tc.d)
+		for i := range h.buckets {
+			want := int64(0)
+			if i == tc.bin {
+				want = 1
+			}
+			if got := h.buckets[i].Load(); got != want {
+				t.Errorf("observe(%v): bucket[%d] = %d, want %d", tc.d, i, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramWriteTo pins the exposition: cumulative monotone buckets,
+// +Inf == _count, _sum in seconds, and the labeled spelling.
+func TestHistogramWriteTo(t *testing.T) {
+	var h histogram
+	h.observe(150 * time.Microsecond)
+	h.observe(150 * time.Microsecond)
+	h.observe(3 * time.Millisecond)
+	h.observe(time.Hour) // +Inf
+
+	var buf bytes.Buffer
+	h.writeTo(&buf, "lat", "")
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.0001"} 0`,
+		`lat_bucket{le="0.0002"} 2`,
+		`lat_bucket{le="0.0032"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		"lat_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unlabeled exposition missing %q:\n%s", want, out)
+		}
+	}
+	var lastCum int64 = -1
+	buckets := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_bucket{") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < lastCum {
+			t.Errorf("buckets not cumulative at %q (%d < %d)", line, v, lastCum)
+		}
+		lastCum = v
+	}
+	if buckets != histBins+1 {
+		t.Errorf("exposition has %d bucket lines, want %d", buckets, histBins+1)
+	}
+	wantSum := float64(2*150*time.Microsecond+3*time.Millisecond+time.Hour) / 1e9
+	if !strings.Contains(out, "lat_sum "+strconv.FormatFloat(wantSum, 'g', -1, 64)) {
+		t.Errorf("exposition missing sum %g:\n%s", wantSum, out)
+	}
+
+	buf.Reset()
+	h.writeTo(&buf, "lat", `stage="assign"`)
+	labeled := buf.String()
+	for _, want := range []string{
+		`lat_bucket{stage="assign",le="+Inf"} 4`,
+		`lat_sum{stage="assign"} `,
+		`lat_count{stage="assign"} 4`,
+	} {
+		if !strings.Contains(labeled, want) {
+			t.Errorf("labeled exposition missing %q:\n%s", want, labeled)
+		}
+	}
+}
+
+// TestHistogramObserveAllocFree pins the hot-path property: recording a
+// latency sample allocates nothing, so instrumenting every assign keeps the
+// serving path at 0 allocs/op.
+func TestHistogramObserveAllocFree(t *testing.T) {
+	var h histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		h.observe(137 * time.Microsecond)
+		h.observe(4 * time.Second)
+	}); n != 0 {
+		t.Fatalf("histogram.observe allocates %v times per run, want 0", n)
+	}
+}
+
+// TestHistogramConcurrentObserve drives observations from many goroutines
+// (run under -race in CI) and checks no sample is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h histogram
+	const workers, per = 8, 1000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				h.observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := h.count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}

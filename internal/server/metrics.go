@@ -4,31 +4,41 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
 
-// metrics holds the daemon's counters. Everything is an atomic — the assign
-// hot path never takes a lock to record an observation.
+// metrics holds the daemon's counters and latency histograms. Everything is
+// an atomic — the assign hot path never takes a lock to record an
+// observation, and the histograms (histogram.go) are fixed atomic arrays, so
+// recording also never allocates.
 type metrics struct {
 	assignTotal  atomic.Int64 // single assignments served
 	batchRows    atomic.Int64 // rows served through /assign/batch
 	assignErrors atomic.Int64
-	latencyNanos atomic.Int64 // cumulative assignment handler latency
-	latencyCount atomic.Int64
 	relearns     atomic.Int64 // background model swaps
-	http         *httpMetrics // per-endpoint request/error counters
+
+	// Per-stage histograms, exported as mcdcd_stage_duration_seconds{stage=...}.
+	// assignLat doubles as the legacy mcdcd_assign_latency_seconds family (it
+	// was a summary; it is a histogram now, which keeps the _sum/_count series
+	// names and adds _bucket).
+	assignLat  histogram // stage="assign": one single-row assignment
+	queueWait  histogram // stage="queue_wait": admission valve wait
+	batchChunk histogram // stage="batch_chunk": one batch chunk fan-out
+	checkpoint histogram // stage="checkpoint": one session checkpoint write
+	relearnDur histogram // stage="relearn": one successful model re-learn
+
+	http *httpMetrics // per-endpoint request/error/duration
 }
 
-func (m *metrics) observe(d time.Duration) {
-	m.latencyNanos.Add(int64(d))
-	m.latencyCount.Add(1)
-}
+func (m *metrics) observe(d time.Duration) { m.assignLat.observe(d) }
 
-// httpMetrics counts requests and error responses per registered route, so
-// /metrics reflects every endpoint's traffic — not only the assign path.
-// Routes register once at mux construction; after that the map is read-only
-// and the counters are atomics, so recording stays lock-free.
+// httpMetrics counts requests, error responses, and request duration per
+// registered route, so /metrics reflects every endpoint's traffic — not only
+// the assign path. Routes register once at mux construction; after that the
+// map is read-only and the counters are atomics, so recording stays
+// lock-free.
 type httpMetrics struct {
 	order  []string
 	routes map[string]*routeCounter
@@ -37,13 +47,14 @@ type httpMetrics struct {
 type routeCounter struct {
 	requests atomic.Int64
 	errors   atomic.Int64 // responses with status ≥ 400
+	dur      histogram
 }
 
 func newHTTPMetrics() *httpMetrics {
 	return &httpMetrics{routes: make(map[string]*routeCounter)}
 }
 
-// route registers (or returns) the counter pair for a mux pattern.
+// route registers (or returns) the counter set for a mux pattern.
 func (h *httpMetrics) route(pattern string) *routeCounter {
 	if rc, ok := h.routes[pattern]; ok {
 		return rc
@@ -54,21 +65,33 @@ func (h *httpMetrics) route(pattern string) *routeCounter {
 	return rc
 }
 
-// instrument wraps a handler so the route's request/error counters track it.
-func (h *httpMetrics) instrument(pattern string, fn http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with the per-route counters and the
+// request-scoped observability shell: the correlation id is resolved (minted
+// or accepted) and echoed on the response before the handler runs — so error
+// envelopes and 429 sheds carry it too — and the request is timed, recorded,
+// and logged on the way out.
+func (h *httpMetrics) instrument(pattern string, o *obs, fn http.HandlerFunc) http.HandlerFunc {
 	rc := h.route(pattern)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rc.requests.Add(1)
+		id := ensureRequestID(r, o.ids)
+		w.Header().Set(RequestIDHeader, id)
 		sw := &statusWriter{ResponseWriter: w}
+		started := time.Now()
 		fn(sw, r)
-		if sw.status() >= http.StatusBadRequest {
+		d := time.Since(started)
+		rc.dur.observe(d)
+		status := sw.status()
+		if status >= http.StatusBadRequest {
 			rc.errors.Add(1)
 		}
+		o.logRequest(r.Context(), id, pattern, status, sw.errCode, d)
 	}
 }
 
-// write emits the per-endpoint counters under the given metric names.
-func (h *httpMetrics) write(w io.Writer, reqName, errName string) {
+// write emits the per-endpoint counters and duration histograms under the
+// given metric names.
+func (h *httpMetrics) write(w io.Writer, reqName, errName, durName string) {
 	fmt.Fprintf(w, "# HELP %s HTTP requests received, by endpoint.\n# TYPE %s counter\n", reqName, reqName)
 	for _, pat := range h.order {
 		fmt.Fprintf(w, "%s{endpoint=%q} %d\n", reqName, pat, h.routes[pat].requests.Load())
@@ -77,14 +100,20 @@ func (h *httpMetrics) write(w io.Writer, reqName, errName string) {
 	for _, pat := range h.order {
 		fmt.Fprintf(w, "%s{endpoint=%q} %d\n", errName, pat, h.routes[pat].errors.Load())
 	}
+	fmt.Fprintf(w, "# HELP %s HTTP request duration, by endpoint.\n# TYPE %s histogram\n", durName, durName)
+	for _, pat := range h.order {
+		h.routes[pat].dur.writeTo(w, durName, fmt.Sprintf("endpoint=%q", pat))
+	}
 }
 
-// statusWriter records the response status for the error counters. A handler
-// that writes a body without an explicit WriteHeader implies 200.
+// statusWriter records the response status (and any stable error code
+// writeError emitted) for the error counters and the request log line. A
+// handler that writes a body without an explicit WriteHeader implies 200.
 type statusWriter struct {
 	http.ResponseWriter
-	code  int
-	wrote bool
+	code    int
+	wrote   bool
+	errCode string // stable code of the error envelope, when one was written
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -106,6 +135,37 @@ func (sw *statusWriter) status() int {
 		return http.StatusOK
 	}
 	return sw.code
+}
+
+func (sw *statusWriter) setErrorCode(code string) { sw.errCode = code }
+
+// Unwrap exposes the underlying writer to http.NewResponseController, so
+// handlers behind the instrumentation (the streaming binary batch path)
+// can still flush per chunk.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// writeRuntimeMetrics emits Go runtime visibility under the given prefix:
+// goroutine count, heap size, and GC activity — the first things an operator
+// checks when a process misbehaves, without needing pprof attached.
+func writeRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP %s_goroutines Live goroutines.\n# TYPE %s_goroutines gauge\n%s_goroutines %d\n",
+		prefix, prefix, prefix, runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP %s_heap_alloc_bytes Heap bytes allocated and in use.\n# TYPE %s_heap_alloc_bytes gauge\n%s_heap_alloc_bytes %d\n",
+		prefix, prefix, prefix, ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP %s_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n# TYPE %s_gc_pause_seconds_total counter\n%s_gc_pause_seconds_total %g\n",
+		prefix, prefix, prefix, float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP %s_gc_cycles_total Completed GC cycles.\n# TYPE %s_gc_cycles_total counter\n%s_gc_cycles_total %d\n",
+		prefix, prefix, prefix, ms.NumGC)
+}
+
+// writeBuildInfo emits the build-metadata gauge (constant 1; the information
+// rides the labels) from the single Version constant the -version flag also
+// prints.
+func writeBuildInfo(w io.Writer, name string) {
+	fmt.Fprintf(w, "# HELP %s Build metadata (value is always 1).\n# TYPE %s gauge\n%s{version=%q,go_version=%q} 1\n",
+		name, name, name, Version, runtime.Version())
 }
 
 // write emits the counters in Prometheus text exposition format, together
@@ -137,10 +197,17 @@ func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, adm *admi
 	counter("mcdcd_sessions_restored_total", "Streaming sessions paged in from checkpoints.", pool.restored.Load())
 	counter("mcdcd_session_checkpoints_total", "Session checkpoint files written.", pool.checkpoints.Load())
 
-	fmt.Fprintf(w, "# HELP mcdcd_assign_latency_seconds_sum Cumulative assignment handler latency.\n")
-	fmt.Fprintf(w, "# TYPE mcdcd_assign_latency_seconds summary\n")
-	fmt.Fprintf(w, "mcdcd_assign_latency_seconds_sum %g\n", time.Duration(m.latencyNanos.Load()).Seconds())
-	fmt.Fprintf(w, "mcdcd_assign_latency_seconds_count %d\n", m.latencyCount.Load())
+	fmt.Fprintf(w, "# HELP mcdcd_assign_latency_seconds Single-assignment latency (JSON and binary paths).\n")
+	fmt.Fprintf(w, "# TYPE mcdcd_assign_latency_seconds histogram\n")
+	m.assignLat.writeTo(w, "mcdcd_assign_latency_seconds", "")
+
+	fmt.Fprintf(w, "# HELP mcdcd_stage_duration_seconds Time spent per serving stage.\n")
+	fmt.Fprintf(w, "# TYPE mcdcd_stage_duration_seconds histogram\n")
+	m.queueWait.writeTo(w, "mcdcd_stage_duration_seconds", `stage="queue_wait"`)
+	m.assignLat.writeTo(w, "mcdcd_stage_duration_seconds", `stage="assign"`)
+	m.batchChunk.writeTo(w, "mcdcd_stage_duration_seconds", `stage="batch_chunk"`)
+	m.checkpoint.writeTo(w, "mcdcd_stage_duration_seconds", `stage="checkpoint"`)
+	m.relearnDur.writeTo(w, "mcdcd_stage_duration_seconds", `stage="relearn"`)
 
 	fmt.Fprintf(w, "# HELP mcdcd_model_epoch Current re-learn epoch of each served model.\n# TYPE mcdcd_model_epoch gauge\n")
 	models := reg.all()
@@ -156,8 +223,10 @@ func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, adm *admi
 		fmt.Fprintf(w, "mcdcd_model_relearn_total{model=%q} %d\n", sm.name, sm.relearns.Load())
 	}
 
-	m.http.write(w, "mcdcd_http_requests_total", "mcdcd_http_errors_total")
+	m.http.write(w, "mcdcd_http_requests_total", "mcdcd_http_errors_total", "mcdcd_http_request_duration_seconds")
 
 	fmt.Fprintf(w, "# HELP mcdcd_sessions Live streaming sessions.\n# TYPE mcdcd_sessions gauge\nmcdcd_sessions %d\n", pool.count())
 	fmt.Fprintf(w, "# HELP mcdcd_uptime_seconds Daemon uptime.\n# TYPE mcdcd_uptime_seconds gauge\nmcdcd_uptime_seconds %g\n", uptime.Seconds())
+	writeRuntimeMetrics(w, "mcdcd")
+	writeBuildInfo(w, "mcdcd_build_info")
 }

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// lintExposition parses a full Prometheus text exposition and enforces the
+// format rules a scraper relies on: every line is a comment or a well-formed
+// sample, HELP/TYPE metadata precedes its family's samples, a family's
+// samples are contiguous, histogram buckets are cumulative and monotone with
+// +Inf equal to _count, and every histogram carries _sum and _count.
+func lintExposition(t *testing.T, body string) {
+	t.Helper()
+	metaSeen := map[string]bool{}   // families with HELP or TYPE emitted
+	typeOf := map[string]string{}   // family -> declared TYPE
+	sampleSeen := map[string]bool{} // families that already emitted samples
+	closed := map[string]bool{}     // families whose sample block has ended
+	var curFam string
+
+	// family resolves a sample name to its metric family: histogram/summary
+	// sample names carry _bucket/_sum/_count suffixes.
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && (typeOf[base] == "histogram" || typeOf[base] == "summary") {
+				return base
+			}
+		}
+		return name
+	}
+
+	type histState struct {
+		lastCum int64
+		inf     int64
+		hasInf  bool
+		count   int64
+		hasCnt  bool
+		hasSum  bool
+	}
+	hists := map[string]*histState{} // per series (family + labels sans le)
+	histOf := func(series string) *histState {
+		if hists[series] == nil {
+			hists[series] = &histState{lastCum: -1}
+		}
+		return hists[series]
+	}
+
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Errorf("line %d: malformed comment %q", lineNo, line)
+				continue
+			}
+			fam := parts[2]
+			if sampleSeen[fam] {
+				t.Errorf("line %d: %s for %s appears after its samples", lineNo, parts[1], fam)
+			}
+			metaSeen[fam] = true
+			if parts[1] == "TYPE" {
+				if len(parts) < 4 {
+					t.Errorf("line %d: TYPE without a type: %q", lineNo, line)
+					continue
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Errorf("line %d: unknown TYPE %q", lineNo, parts[3])
+				}
+				typeOf[fam] = parts[3]
+			}
+			continue
+		}
+
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Errorf("line %d: malformed sample %q", lineNo, line)
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Errorf("line %d: bad sample value %q: %v", lineNo, valStr, err)
+			continue
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Errorf("line %d: unterminated label set %q", lineNo, series)
+				continue
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		fam := family(name)
+		if fam != curFam {
+			if sampleSeen[fam] {
+				t.Errorf("line %d: family %s samples are not contiguous", lineNo, fam)
+			}
+			closed[curFam] = true
+			curFam = fam
+		}
+		if closed[fam] {
+			t.Errorf("line %d: family %s reopened after closing", lineNo, fam)
+		}
+		sampleSeen[fam] = true
+
+		if typeOf[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le := ""
+			var other []string // the series identity minus the le pair
+			rest := labels
+			for rest != "" {
+				kv := rest
+				if c := strings.IndexByte(rest, ','); c >= 0 {
+					kv, rest = rest[:c], rest[c+1:]
+				} else {
+					rest = ""
+				}
+				if v, ok := strings.CutPrefix(kv, `le="`); ok {
+					le = strings.TrimSuffix(v, `"`)
+				} else {
+					other = append(other, kv)
+				}
+			}
+			if le == "" {
+				t.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+				continue
+			}
+			cum, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: bucket count %q not an integer: %v", lineNo, valStr, err)
+				continue
+			}
+			h := histOf(fam + "|" + strings.Join(other, ","))
+			if cum < h.lastCum {
+				t.Errorf("line %d: bucket counts decrease (%d after %d) in %q", lineNo, cum, h.lastCum, series)
+			}
+			h.lastCum = cum
+			if le == "+Inf" {
+				h.inf, h.hasInf = cum, true
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				t.Errorf("line %d: unparsable le bound %q", lineNo, le)
+			}
+		case strings.HasSuffix(name, "_sum"):
+			histOf(fam + "|" + labels).hasSum = true
+		case strings.HasSuffix(name, "_count"):
+			cnt, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Errorf("line %d: _count %q not an integer: %v", lineNo, valStr, err)
+				continue
+			}
+			h := histOf(fam + "|" + labels)
+			h.count, h.hasCnt = cnt, true
+		}
+	}
+
+	var keys []string
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		if !h.hasInf {
+			t.Errorf("histogram series %q has no +Inf bucket", k)
+			continue
+		}
+		if !h.hasSum || !h.hasCnt {
+			t.Errorf("histogram series %q missing _sum or _count", k)
+			continue
+		}
+		if h.inf != h.count {
+			t.Errorf("histogram series %q: +Inf bucket %d != _count %d", k, h.inf, h.count)
+		}
+	}
+}
+
+// scrape GETs a /v1/metrics endpoint.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	return string(data)
+}
+
+// TestMetricsExpositionLint drives real traffic through every instrumented
+// stage on a single daemon — assigns (single and batch), a session with a
+// checkpoint, a shed — then lints the full exposition.
+func TestMetricsExpositionLint(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 13)
+	s, ts := newTestServer(t, Config{
+		StateDir:    t.TempDir(),
+		MaxInFlight: 2,
+		QueueDepth:  1,
+	})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows[:10] {
+		if resp, data := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": row}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("assign: %d (%s)", resp.StatusCode, data)
+		}
+	}
+	if resp, data := post(t, ts.URL+"/v1/assign/batch", map[string]any{"model": "m", "rows": rows[10:40]}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d (%s)", resp.StatusCode, data)
+	}
+	if resp, data := post(t, ts.URL+"/v1/sessions", map[string]any{"session": "s1", "model": "m"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session: %d (%s)", resp.StatusCode, data)
+	}
+	if resp, data := post(t, ts.URL+"/v1/assign", map[string]any{"session": "s1", "row": rows[40]}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("session assign: %d (%s)", resp.StatusCode, data)
+	}
+	if resp, data := post(t, ts.URL+"/v1/checkpoint", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d (%s)", resp.StatusCode, data)
+	}
+	// Force one shed so the error paths show up in the exposition too.
+	s.admission.slots <- struct{}{}
+	s.admission.slots <- struct{}{}
+	done := make(chan struct{})
+	go func() { // fill the queue slot with a parked request
+		post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[41]})
+		close(done)
+	}()
+	for s.admission.depth() == 0 {
+	}
+	if resp, _ := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[42]}); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected a shed, got %d", resp.StatusCode)
+	}
+	<-s.admission.slots
+	<-s.admission.slots
+	<-done
+
+	body := scrape(t, ts.URL)
+	lintExposition(t, body)
+
+	// The series the issue promises must exist with signal in them.
+	for _, want := range []string{
+		`mcdcd_assign_latency_seconds_bucket{le="+Inf"}`,
+		`mcdcd_stage_duration_seconds_bucket{stage="assign",le=`,
+		`mcdcd_stage_duration_seconds_bucket{stage="queue_wait",le=`,
+		`mcdcd_stage_duration_seconds_bucket{stage="batch_chunk",le=`,
+		`mcdcd_stage_duration_seconds_bucket{stage="checkpoint",le=`,
+		`mcdcd_stage_duration_seconds_bucket{stage="relearn",le=`,
+		`mcdcd_http_request_duration_seconds_bucket{endpoint="POST /v1/assign",le=`,
+		"mcdcd_goroutines ",
+		"mcdcd_heap_alloc_bytes ",
+		"mcdcd_gc_pause_seconds_total ",
+		fmt.Sprintf("mcdcd_build_info{version=%q,", Version),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for series, min := range map[string]int64{
+		"mcdcd_assign_latency_seconds_count":                      12, // 11 singles + 1 session assign (batch counts per-row there too)
+		`mcdcd_stage_duration_seconds_count{stage="checkpoint"}`:  1,
+		`mcdcd_stage_duration_seconds_count{stage="batch_chunk"}`: 1,
+		`mcdcd_stage_duration_seconds_count{stage="queue_wait"}`:  1,
+	} {
+		got := seriesValue(t, body, series)
+		if got < min {
+			t.Errorf("%s = %d, want >= %d", series, got, min)
+		}
+	}
+}
+
+// seriesValue extracts one integer sample value from an exposition.
+func seriesValue(t *testing.T, body, series string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			t.Fatalf("series %s value %q: %v", series, rest, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found", series)
+	return 0
+}
+
+// TestGatewayMetricsExpositionLint lints the aggregated gateway exposition:
+// merged backend histograms plus the gateway's own families must still be a
+// valid exposition, and point-in-time gauges must appear per backend.
+func TestGatewayMetricsExpositionLint(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 17)
+	_, gts, backends, tss := gatewayFleet(t, 2, Config{MaxInFlight: 4})
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, row := range rows[:20] {
+		if resp, data := post(t, gts.URL+"/v1/assign", map[string]any{"model": "m", "row": row}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("assign: %d (%s)", resp.StatusCode, data)
+		}
+	}
+	body := scrape(t, gts.URL)
+	lintExposition(t, body)
+
+	if got := seriesValue(t, body, "mcdcd_assign_total"); got != 20 {
+		t.Errorf("aggregated mcdcd_assign_total = %d, want 20", got)
+	}
+	if got := seriesValue(t, body, "mcdcd_assign_latency_seconds_count"); got != 20 {
+		t.Errorf("aggregated latency _count = %d, want 20", got)
+	}
+	for _, ts := range tss {
+		addr := strings.TrimPrefix(ts.URL, "http://")
+		if !strings.Contains(body, fmt.Sprintf("mcdcd_queue_depth{backend=%q} ", addr)) {
+			t.Errorf("no per-backend queue depth for %s", addr)
+		}
+	}
+	for _, want := range []string{
+		"mcdcd_gateway_http_requests_total",
+		"mcdcd_gateway_goroutines ",
+		fmt.Sprintf("mcdcd_gateway_build_info{version=%q,", Version),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("gateway exposition missing %q", want)
+		}
+	}
+}

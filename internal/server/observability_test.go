@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcdc/internal/model"
+)
+
+// syncBuf is a goroutine-safe log sink for capturing slog output in tests.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitForLog polls the sink until the substring appears (log lines are
+// written after the response is flushed, so a just-returned request's line
+// may trail it by a scheduler beat).
+func waitForLog(t *testing.T, buf *syncBuf, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if out := buf.String(); strings.Contains(out, substr) {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log never contained %q:\n%s", substr, buf.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRequestIDMintedAndEchoed pins the correlation contract on a single
+// daemon: a request without an id gets a minted one back, a valid client id
+// is echoed verbatim, and a garbage id is replaced rather than reflected.
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 7)
+	s, ts := newTestServer(t, Config{})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{"model": "m", "row": rows[0]})
+
+	do := func(id string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/assign", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set(RequestIDHeader, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := do("").Header.Get(RequestIDHeader); got == "" {
+		t.Error("no request id minted for a bare request")
+	}
+	if got := do("client-trace-42").Header.Get(RequestIDHeader); got != "client-trace-42" {
+		t.Errorf("valid client id not echoed: got %q", got)
+	}
+	if got := do("has space").Header.Get(RequestIDHeader); got == "" || strings.Contains(got, " ") {
+		t.Errorf("invalid client id not replaced with a minted one: got %q", got)
+	}
+	long := strings.Repeat("x", 200)
+	if got := do(long).Header.Get(RequestIDHeader); got == long {
+		t.Error("oversized client id reflected instead of replaced")
+	}
+
+	// Two minted ids must differ — correlation is useless otherwise.
+	a := do("").Header.Get(RequestIDHeader)
+	b := do("").Header.Get(RequestIDHeader)
+	if a == b {
+		t.Errorf("minted ids collide: %q", a)
+	}
+}
+
+// TestRequestIDOnErrorAndShed pins the id on the failure paths: the error
+// envelope (404 unknown model) and the 429 shed both carry it — exactly the
+// responses an operator most wants to trace.
+func TestRequestIDOnErrorAndShed(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 0})
+
+	resp, data := post(t, ts.URL+"/v1/sessions", map[string]any{"session": "s", "model": "ghost"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d (%s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("error envelope response missing the request id header")
+	}
+
+	// Occupy the only slot so the next assign sheds with 429.
+	s.admission.slots <- struct{}{}
+	defer func() { <-s.admission.slots }()
+	resp, data = post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": []int{0}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed: status %d (%s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("429 shed response missing the request id header")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 shed response missing Retry-After")
+	}
+	var env struct{ Code string }
+	if json.Unmarshal(data, &env); env.Code != "overloaded" {
+		t.Errorf("shed envelope code = %q, want overloaded (%s)", env.Code, data)
+	}
+}
+
+// TestRequestIDThroughGateway pins end-to-end correlation: one id, supplied
+// by the client, is echoed by the gateway AND lands in the backend's
+// slow-request log — on the JSON path and on the binary frame path.
+func TestRequestIDThroughGateway(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 9)
+	var buf syncBuf
+	_, gts, backends, _ := gatewayFleet(t, 1, Config{
+		Logger:  slog.New(slog.NewTextHandler(&buf, nil)),
+		LogSlow: time.Nanosecond, // every request is "slow": each one logs its id
+	})
+	if err := backends[0].AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON path.
+	body, _ := json.Marshal(map[string]any{"model": "m", "row": rows[0]})
+	req, _ := http.NewRequest(http.MethodPost, gts.URL+"/v1/assign", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "e2e-json-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "e2e-json-1" {
+		t.Errorf("gateway echoed %q, want e2e-json-1", got)
+	}
+	out := waitForLog(t, &buf, "e2e-json-1")
+	if !strings.Contains(out, "request_id=e2e-json-1") {
+		t.Errorf("backend slow log lacks request_id attr:\n%s", out)
+	}
+
+	// Binary frame path: the id rides the same HTTP header over the wire
+	// content type.
+	var wire bytes.Buffer
+	_ = model.WriteWireHeader(&wire)
+	_ = model.WriteFrame(&wire, model.FrameAssign, model.AppendAssignRequest(nil, "m", "", rows[1]))
+	req, _ = http.NewRequest(http.MethodPost, gts.URL+"/v1/assign", bytes.NewReader(wire.Bytes()))
+	req.Header.Set("Content-Type", WireContentType)
+	req.Header.Set(RequestIDHeader, "e2e-wire-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wire assign through gateway: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "e2e-wire-1" {
+		t.Errorf("gateway echoed %q on the wire path, want e2e-wire-1", got)
+	}
+	waitForLog(t, &buf, "request_id=e2e-wire-1")
+}
+
+// TestSlowRequestLogging pins the -log-slow contract: below the threshold
+// nothing logs at Info level; with a threshold of 0 disabled entirely.
+func TestSlowRequestLogging(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 11)
+	var buf syncBuf
+	s, ts := newTestServer(t, Config{
+		Logger:  slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn})),
+		LogSlow: time.Hour, // nothing is that slow
+	})
+	if err := s.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := post(t, ts.URL+"/v1/assign", map[string]any{"model": "m", "row": rows[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assign: status %d", resp.StatusCode)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if out := buf.String(); strings.Contains(out, "slow request") {
+		t.Errorf("fast request logged as slow:\n%s", out)
+	}
+}

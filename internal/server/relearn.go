@@ -41,12 +41,13 @@ func (s *Server) RelearnNow() int {
 		}
 		rows := sm.buf.take()
 		cur := sm.load()
+		started := time.Now()
 		next, err := s.relearnModel(cur, rows)
 		if err != nil {
 			// Keep the window: the rows get another chance next sweep
 			// instead of vanishing with the failed training.
 			sm.buf.restore(rows)
-			s.logf("re-learn of %q failed: %v (keeping epoch %d)", sm.name, err, cur.Epoch)
+			s.log.Warn("relearn failed", "model", sm.name, "err", err, "epoch", cur.Epoch)
 			continue
 		}
 		if !sm.snap.CompareAndSwap(cur, next) {
@@ -57,13 +58,15 @@ func (s *Server) RelearnNow() int {
 			if sameSchema(sm.load().Cardinalities, cur.Cardinalities) {
 				sm.buf.restore(rows)
 			}
-			s.logf("re-learn of %q discarded: model was hot-swapped during training", sm.name)
+			s.log.Info("relearn discarded: model hot-swapped during training", "model", sm.name)
 			continue
 		}
+		s.metrics.relearnDur.observe(time.Since(started))
 		sm.relearns.Add(1)
 		s.metrics.relearns.Add(1)
 		swapped++
-		s.logf("re-learned model %q from %d rows: epoch %d, k=%d, kappa=%v", sm.name, len(rows), next.Epoch, next.K, next.Kappa)
+		s.log.Info("relearned model", "model", sm.name, "rows", len(rows),
+			"epoch", next.Epoch, "k", next.K, "duration_ms", float64(time.Since(started))/float64(time.Millisecond))
 	}
 	return swapped
 }

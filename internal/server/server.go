@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -101,8 +102,11 @@ type Config struct {
 	// RetryAfter is the delay advertised in the Retry-After header of shed
 	// responses (default 1s; the header rounds up to whole seconds).
 	RetryAfter time.Duration
-	// Logf, when set, receives operational log lines.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational and request logs (nil = silent).
+	Logger *slog.Logger
+	// LogSlow logs any request slower than this at Warn level, with its
+	// request id, endpoint, status, and duration (0 disables).
+	LogSlow time.Duration
 }
 
 // Server is the mcdcd daemon core, embeddable in tests and other processes.
@@ -114,6 +118,8 @@ type Server struct {
 	metrics   *metrics
 	mux       *http.ServeMux
 	admission *admission // nil when Config.MaxInFlight is 0
+	obs       *obs       // request ids + structured request logging
+	log       *slog.Logger
 	// assigners pools per-goroutine model.Assigner scratches for the
 	// stateless assign hot path: Bind re-points a pooled scratch at the
 	// current snapshot (no allocation across hot swaps of same-shaped
@@ -155,13 +161,15 @@ func New(cfg Config) (*Server, error) {
 		metrics:   &metrics{http: newHTTPMetrics()},
 		mux:       http.NewServeMux(),
 		admission: newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.RetryAfter),
+		obs:       newObs(cfg.Logger, cfg.LogSlow),
 		stop:      make(chan struct{}),
 	}
-	s.sessions = newSessionPool(cfg.SessionShards, sessionsDir, s.logf)
+	s.log = s.obs.log
+	s.sessions = newSessionPool(cfg.SessionShards, sessionsDir, s.log, &s.metrics.checkpoint)
 	s.assigners.New = func() any { return &model.Assigner{} }
 	s.routes()
 	if n := s.sessions.restoreAll(); n > 0 {
-		s.logf("restored %d streaming session(s) from %s", n, sessionsDir)
+		s.log.Info("restored streaming sessions", "count", n, "dir", sessionsDir)
 	}
 	if cfg.RelearnEvery > 0 {
 		s.wg.Add(1)
@@ -186,7 +194,7 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	s.flushOnce.Do(func() {
 		if n := s.sessions.checkpointAll(); n > 0 {
-			s.logf("flushed %d session checkpoint(s) on shutdown", n)
+			s.log.Info("flushed session checkpoints on shutdown", "count", n)
 		}
 	})
 }
@@ -233,7 +241,7 @@ func (s *Server) sweepLoop() {
 			return
 		case <-ticker.C:
 			if n := s.sessions.sweep(s.cfg.SessionTTL); n > 0 {
-				s.logf("evicted %d idle session(s)", n)
+				s.log.Info("evicted idle sessions", "count", n)
 			}
 		}
 	}
@@ -241,12 +249,6 @@ func (s *Server) sweepLoop() {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
 
 // LoadModelFile loads a snapshot file into the registry under name,
 // hot-swapping any model already served under it. It returns the loaded
@@ -260,11 +262,8 @@ func (s *Server) LoadModelFile(name, path string) (*model.Snapshot, bool, error)
 		return nil, false, err
 	}
 	replaced := s.registry.set(name, snap, s.cfg.BufferSize)
-	verb := "loaded"
-	if replaced {
-		verb = "hot-swapped"
-	}
-	s.logf("%s model %q from %s (k=%d, epoch=%d, %d features)", verb, name, path, snap.K, snap.Epoch, snap.D())
+	s.log.Info("loaded model", "model", name, "path", path,
+		"k", snap.K, "epoch", snap.Epoch, "features", snap.D(), "hot_swap", replaced)
 	return snap, replaced, nil
 }
 
@@ -302,7 +301,7 @@ func (s *Server) routes() {
 func (s *Server) handle(pattern string, fn http.HandlerFunc) {
 	method, path, _ := strings.Cut(pattern, " ")
 	canonical := method + " /v1" + path
-	h := s.metrics.http.instrument(canonical, fn)
+	h := s.metrics.http.instrument(canonical, s.obs, fn)
 	s.mux.HandleFunc(canonical, h)
 	s.mux.HandleFunc(pattern, h)
 }
@@ -483,7 +482,7 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeUnknownModel, "no model %q", name)
 		return
 	}
-	s.logf("unloaded model %q", name)
+	s.log.Info("unloaded model", "model", name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -583,7 +582,7 @@ func (s *Server) assignBatchRows(sm *servedModel, snap *model.Snapshot, rows [][
 		}
 	}
 	s.metrics.batchRows.Add(int64(len(assignments)))
-	s.metrics.observe(time.Since(started))
+	s.metrics.batchChunk.observe(time.Since(started))
 	return assignments, nil
 }
 
@@ -643,7 +642,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, codeConflict, "%v", err)
 		return
 	}
-	s.logf("created session %q (schema from model %q)", req.Session, req.Model)
+	s.log.Info("created session", "session", req.Session, "model", req.Model)
 	writeJSON(w, http.StatusCreated, map[string]string{"session": req.Session})
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io/fs"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -59,7 +60,8 @@ type session struct {
 type sessionPool struct {
 	shards []*sessionShard
 	dir    string // "" → memory-only (eviction discards, restarts forget)
-	logf   func(format string, args ...any)
+	log    *slog.Logger
+	ckpt   *histogram // checkpoint-write durations (nil = not recorded)
 
 	evicted      atomic.Int64 // sessions evicted by the TTL sweeper
 	restored     atomic.Int64 // sessions paged in from checkpoints
@@ -72,14 +74,14 @@ type sessionShard struct {
 	m  map[string]*session
 }
 
-func newSessionPool(shards int, dir string, logf func(format string, args ...any)) *sessionPool {
+func newSessionPool(shards int, dir string, log *slog.Logger, ckpt *histogram) *sessionPool {
 	if shards <= 0 {
 		shards = 16
 	}
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if log == nil {
+		log = discardLogger
 	}
-	p := &sessionPool{shards: make([]*sessionShard, shards), dir: dir, logf: logf}
+	p := &sessionPool{shards: make([]*sessionShard, shards), dir: dir, log: log, ckpt: ckpt}
 	for i := range p.shards {
 		p.shards[i] = &sessionShard{m: make(map[string]*session)}
 	}
@@ -130,13 +132,13 @@ func (p *sessionPool) get(id string) (*session, bool) {
 	st, err := model.LoadStreamFile(p.path(id))
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
-			p.logf("session %q: unreadable checkpoint %s: %v", id, p.path(id), err)
+			p.log.Warn("unreadable session checkpoint", "session", id, "path", p.path(id), "err", err)
 		}
 		return nil, false
 	}
 	c, err := stream.Restore(st)
 	if err != nil {
-		p.logf("session %q: corrupt checkpoint %s: %v", id, p.path(id), err)
+		p.log.Warn("corrupt session checkpoint", "session", id, "path", p.path(id), "err", err)
 		return nil, false
 	}
 	s = &session{c: c, lastUse: time.Now()}
@@ -260,7 +262,12 @@ func (s *session) addRow(row []int, driftThreshold float64) (stream.Assignment, 
 // a slow periodic sweep can never overwrite the newer state an eviction just
 // flushed.
 func (p *sessionPool) saveLocked(id string, s *session) error {
-	return s.c.Snapshot().SaveFile(p.path(id))
+	started := time.Now()
+	err := s.c.Snapshot().SaveFile(p.path(id))
+	if err == nil && p.ckpt != nil {
+		p.ckpt.observe(time.Since(started))
+	}
+	return err
 }
 
 // checkpointAll flushes every live session to disk and returns how many
@@ -284,7 +291,7 @@ func (p *sessionPool) checkpointAll() int {
 			s.mu.Lock()
 			if !s.gone {
 				if err := p.saveLocked(ids[i], s); err != nil {
-					p.logf("checkpoint session %q: %v", ids[i], err)
+					p.log.Warn("session checkpoint failed", "session", ids[i], "err", err)
 				} else {
 					n++
 				}
@@ -326,7 +333,7 @@ func (p *sessionPool) sweep(ttl time.Duration) int {
 			}
 			if p.dir != "" {
 				if err := p.saveLocked(ids[i], s); err != nil {
-					p.logf("evict session %q: checkpoint failed, keeping it in memory: %v", ids[i], err)
+					p.log.Warn("eviction checkpoint failed; keeping session in memory", "session", ids[i], "err", err)
 					s.mu.Unlock()
 					continue
 				}
@@ -351,7 +358,7 @@ func (p *sessionPool) restoreAll() int {
 	}
 	entries, err := os.ReadDir(p.dir)
 	if err != nil {
-		p.logf("restore sessions: %v", err)
+		p.log.Warn("restore sessions failed", "dir", p.dir, "err", err)
 		return 0
 	}
 	n := 0

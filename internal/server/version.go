@@ -1,0 +1,6 @@
+package server
+
+// Version is the single source of the daemon's release version: the
+// `mcdcd -version` flag prints it and the mcdcd_build_info metric exports
+// it, so a scrape and a shell agree on what is deployed.
+const Version = "0.8.0"
