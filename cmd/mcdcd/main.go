@@ -9,11 +9,18 @@
 //	      [-seed 1] [-parallel 0] [-shards 16] [-addr-file path]
 //	      [-state-dir dir] [-checkpoint 30s] [-session-ttl 1h]
 //	      [-max-inflight 0] [-queue-depth 0] [-retry-after 1s]
+//	      [-replicate -peers 127.0.0.1:8081,127.0.0.1:8082 [-self addr] [-fleet-secret s]]
 //
 // Gateway mode — a consistent-hash front end over a fleet of backends:
 //
 //	mcdcd -backends 127.0.0.1:8081,127.0.0.1:8082 [-ring-replicas 128]
 //	      [-health 5s] [-addr :8080] [-addr-file path]
+//	      [-retries 2] [-retry-backoff 25ms] [-hedge 0] [-fleet-secret s]
+//
+// Drain mode — migrate a backend's sessions away and drop it from the ring
+// (run against the gateway; the drained process can then be stopped safely):
+//
+//	mcdcd -drain 127.0.0.1:8082 -gateway 127.0.0.1:8080
 //
 // Endpoints are versioned under /v1, with the unversioned spellings kept as
 // aliases (see internal/server for the full contract, including the binary
@@ -40,10 +47,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -100,6 +110,15 @@ func run() error {
 		backends   = flag.String("backends", "", "comma-separated backend addresses: run as a consistent-hash gateway instead of serving models")
 		replicas   = flag.Int("ring-replicas", 128, "virtual nodes per backend on the gateway hash ring")
 		health     = flag.Duration("health", 5*time.Second, "gateway per-backend health-check interval (0 = disabled)")
+		replicate  = flag.Bool("replicate", false, "checkpoint every session assignment and ship it to the ring successor (requires -state-dir; pair with -peers)")
+		peers      = flag.String("peers", "", "comma-separated fleet member addresses (including this daemon) for checkpoint replication")
+		selfAddr   = flag.String("self", "", "this daemon's address as peers see it (default: the resolved listen address)")
+		fleetKey   = flag.String("fleet-secret", "", "shared secret authenticating intra-fleet endpoints (replica shipping, promotion, membership)")
+		retries    = flag.Int("retries", 0, "gateway: retries per transiently failed backend request (0 = default of 2, negative = none)")
+		retryWait  = flag.Duration("retry-backoff", 0, "gateway: initial delay between retries, doubling per attempt (0 = default 25ms)")
+		hedge      = flag.Duration("hedge", 0, "gateway: hedge stateless assigns against a second backend after this delay (0 = disabled)")
+		drain      = flag.String("drain", "", "client mode: drain this backend via the gateway at -gateway (migrates its sessions, removes it from the ring) and exit")
+		gwAddr     = flag.String("gateway", "", "gateway address for -drain")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		logSlow    = flag.Duration("log-slow", 0, "warn-log any request slower than this, with its request id (0 = disabled)")
@@ -112,6 +131,9 @@ func run() error {
 	if *version {
 		fmt.Printf("mcdcd %s %s\n", server.Version, runtime.Version())
 		return nil
+	}
+	if *drain != "" {
+		return drainBackend(*gwAddr, *drain)
 	}
 	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -143,16 +165,24 @@ func run() error {
 	}
 
 	var handler http.Handler
+	var backendSrv *server.Server
 	if *backends != "" {
 		if len(models) > 0 || *stateDir != "" || *relearn > 0 {
 			return errors.New("-backends (gateway mode) is incompatible with -model, -state-dir, and -relearn — those belong on the backends")
 		}
+		if *replicate || *peers != "" {
+			return errors.New("-replicate and -peers belong on the backends, not the gateway")
+		}
 		gw, err := server.NewGateway(server.GatewayConfig{
-			Backends:    strings.Split(*backends, ","),
-			Replicas:    *replicas,
-			HealthEvery: *health,
-			Logger:      logger,
-			LogSlow:     *logSlow,
+			Backends:     strings.Split(*backends, ","),
+			Replicas:     *replicas,
+			HealthEvery:  *health,
+			Retries:      *retries,
+			RetryBackoff: *retryWait,
+			HedgeAfter:   *hedge,
+			FleetSecret:  *fleetKey,
+			Logger:       logger,
+			LogSlow:      *logSlow,
 		})
 		if err != nil {
 			return err
@@ -161,7 +191,11 @@ func run() error {
 		logger.Info("gateway mode", "backends", strings.Join(gw.Backends(), ","), "count", len(gw.Backends()))
 		handler = gw.Handler()
 	} else {
+		if *peers != "" && !*replicate {
+			return errors.New("-peers needs -replicate (checkpoint-per-assignment is what makes failover byte-identical)")
+		}
 		srv, err := server.New(server.Config{
+			Replicate:            *replicate,
 			Seed:                 *seed,
 			Workers:              *par,
 			SessionShards:        *shards,
@@ -193,6 +227,7 @@ func run() error {
 			logger.Info("no -model given; starting empty (load models via POST /models)")
 		}
 		handler = srv.Handler()
+		backendSrv = srv
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -201,6 +236,21 @@ func run() error {
 	}
 	resolved := ln.Addr().String()
 	fmt.Printf("mcdcd listening on %s\n", resolved)
+	if backendSrv != nil && (*peers != "" || *fleetKey != "") {
+		// The fleet is wired only now that the listen address is resolved, so
+		// -self can default to it (covering -addr with port 0). Peers may name
+		// this daemon too; the replicator skips self when picking a successor.
+		self := *selfAddr
+		if self == "" {
+			self = resolved
+		}
+		var fleet []string
+		if *peers != "" {
+			fleet = strings.Split(*peers, ",")
+		}
+		backendSrv.ConfigureReplication(self, fleet, *fleetKey)
+		logger.Info("replication configured", "self", self, "peers", strings.Join(fleet, ","))
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(resolved), 0o644); err != nil {
 			ln.Close()
@@ -229,6 +279,39 @@ func run() error {
 		}
 		return err
 	}
+}
+
+// drainBackend is the client side of `mcdcd -drain`: it asks the gateway to
+// migrate every session off the named backend and drop it from the ring, then
+// reports what moved. The backend process itself is left running — stopping
+// it afterwards is safe precisely because it no longer owns anything.
+func drainBackend(gateway, backend string) error {
+	if gateway == "" {
+		return errors.New("-drain needs -gateway <addr>")
+	}
+	if !strings.Contains(gateway, "://") {
+		gateway = "http://" + gateway
+	}
+	body, _ := json.Marshal(map[string]string{"backend": backend})
+	resp, err := http.Post(gateway+"/v1/ring/leave", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("drain: gateway answered %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var out struct {
+		Backend  string   `json:"backend"`
+		Migrated []string `json:"migrated"`
+		Members  []string `json:"members"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return fmt.Errorf("drain: parsing gateway response: %w", err)
+	}
+	fmt.Printf("drained %s: %d sessions migrated, ring now [%s]\n", out.Backend, len(out.Migrated), strings.Join(out.Members, " "))
+	return nil
 }
 
 // buildLogger constructs the daemon's slog.Logger from -log-format and

@@ -9,6 +9,7 @@
 //	mcdcload -addr 127.0.0.1:8080 -model nodes -n 2000 [-batch 0]
 //	         [-concurrency 4] [-seed 1] [-proto json|binary]
 //	         [-json out.json] [-max-p99 0] [-fail-on-errors]
+//	         [-report-errors-by-code]
 //
 // The row stream is a pure function of -seed, -concurrency, and the model's
 // cardinality schema (fetched from GET /v1/models), so two runs against the
@@ -21,6 +22,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,20 +39,24 @@ const pipelineChunk = 64
 
 // Report is the JSON artifact: enough to trend latency like sec/op.
 type Report struct {
-	Addr        string  `json:"addr"`
-	Model       string  `json:"model"`
-	Proto       string  `json:"proto"`
-	Seed        int64   `json:"seed"`
-	Concurrency int     `json:"concurrency"`
-	BatchSize   int     `json:"batch_size"`
-	Requests    int64   `json:"requests"`
-	Rows        int64   `json:"rows"`
-	Errors      int64   `json:"errors"`
-	Sheds       int64   `json:"sheds"` // overloaded (429) verdicts, a subset of errors
-	Seconds     float64 `json:"seconds"`
-	RowsPerSec  float64 `json:"rows_per_sec"`
-	Latency     Quants  `json:"latency"`
-	Histogram   []Bin   `json:"histogram"`
+	Addr        string `json:"addr"`
+	Model       string `json:"model"`
+	Proto       string `json:"proto"`
+	Seed        int64  `json:"seed"`
+	Concurrency int    `json:"concurrency"`
+	BatchSize   int    `json:"batch_size"`
+	Requests    int64  `json:"requests"`
+	Rows        int64  `json:"rows"`
+	Errors      int64  `json:"errors"`
+	Sheds       int64  `json:"sheds"` // overloaded (429) verdicts, a subset of errors
+	// ErrorsByCode splits Errors by the stable API error code (transport-level
+	// failures, which never carried an envelope, count under "transport").
+	// Populated only with -report-errors-by-code.
+	ErrorsByCode map[string]int64 `json:"errors_by_code,omitempty"`
+	Seconds      float64          `json:"seconds"`
+	RowsPerSec   float64          `json:"rows_per_sec"`
+	Latency      Quants           `json:"latency"`
+	Histogram    []Bin            `json:"histogram"`
 	// Slowest lists the worst requests by latency with the request ids the
 	// run stamped on them (X-MCDC-Request-Id), so a bad tail quantile can be
 	// chased straight into the daemon's slow-request log.
@@ -92,12 +98,16 @@ func main() {
 		jsonOut = flag.String("json", "", "write the report JSON to this file (default stdout only)")
 		maxP99  = flag.Duration("max-p99", 0, "fail (exit 1) when p99 latency exceeds this (0 = no gate)")
 		failErr = flag.Bool("fail-on-errors", false, "fail (exit 1) when any request errors")
+		byCode  = flag.Bool("report-errors-by-code", false, "break the error count down by stable API error code in the report")
 	)
 	flag.Parse()
 	rep, err := run(*addr, *modelN, *proto, *n, *batch, *conc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcdcload:", err)
 		os.Exit(1)
+	}
+	if !*byCode {
+		rep.ErrorsByCode = nil
 	}
 	out, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Println(string(out))
@@ -163,6 +173,7 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 		reqs   int64
 		errs   int64
 		sheds  int64
+		codes  map[string]int64
 		hadErr error
 	}
 	outs := make([]workerOut, conc)
@@ -201,6 +212,10 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 					if client.IsCode(err, "overloaded") {
 						o.sheds++
 					}
+					if o.codes == nil {
+						o.codes = make(map[string]int64)
+					}
+					o.codes[errCode(err)]++
 					if o.hadErr == nil {
 						o.hadErr = err
 					}
@@ -266,6 +281,12 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 		rep.Rows += outs[w].rows
 		rep.Errors += outs[w].errs
 		rep.Sheds += outs[w].sheds
+		for code, count := range outs[w].codes {
+			if rep.ErrorsByCode == nil {
+				rep.ErrorsByCode = make(map[string]int64)
+			}
+			rep.ErrorsByCode[code] += count
+		}
 		lats = append(lats, outs[w].lats...)
 		for i, d := range outs[w].lats {
 			slow = append(slow, SlowRequest{RequestID: outs[w].ids[i], Ms: float64(d) / float64(time.Millisecond)})
@@ -290,6 +311,16 @@ func run(addr, modelName, proto string, n, batch, conc int, seed int64) (*Report
 	}
 	rep.Slowest = slow
 	return rep, nil
+}
+
+// errCode maps a request failure to its stable API code; failures that never
+// produced an error envelope (refused, reset, timed out) count as "transport".
+func errCode(err error) string {
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.Code != "" {
+		return ae.Code
+	}
+	return "transport"
 }
 
 // quantiles reads p50/p99/p999 off the sorted latencies (nearest-rank).

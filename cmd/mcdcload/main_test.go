@@ -140,6 +140,55 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunErrorsByCode checks the per-code error breakdown: enveloped API
+// failures count under their stable code, severed connections under
+// "transport", and the buckets sum to the error total.
+func TestRunErrorsByCode(t *testing.T) {
+	var n int
+	var mu sync.Mutex
+	addr := serveModel(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost {
+				mu.Lock()
+				n++
+				i := n
+				mu.Unlock()
+				switch {
+				case i%3 == 0:
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusBadGateway)
+					io.WriteString(w, `{"error":"injected","code":"bad_gateway"}`)
+					return
+				case i%5 == 0:
+					conn, _, err := w.(http.Hijacker).Hijack()
+					if err == nil {
+						conn.Close() // the caller sees a severed connection
+						return
+					}
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	rep, err := run(addr, "nodes", "json", 60, 0, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("fault wrapper injected no errors")
+	}
+	if rep.ErrorsByCode["bad_gateway"] == 0 || rep.ErrorsByCode["transport"] == 0 {
+		t.Fatalf("expected both bad_gateway and transport buckets, got %v", rep.ErrorsByCode)
+	}
+	var sum int64
+	for _, c := range rep.ErrorsByCode {
+		sum += c
+	}
+	if sum != rep.Errors {
+		t.Fatalf("errors_by_code sums to %d, want %d (%v)", sum, rep.Errors, rep.ErrorsByCode)
+	}
+}
+
 // TestRunErrors covers the gate-relevant failure shapes.
 func TestRunErrors(t *testing.T) {
 	addr := serveModel(t, nil)

@@ -15,8 +15,9 @@ import (
 
 // Ring is a consistent-hash ring. The zero value is not usable; construct
 // with New. Ring is not safe for concurrent mutation; concurrent Get calls
-// are safe as long as no Add/Remove runs (the gateway builds its ring once
-// at startup).
+// are safe as long as no Add/Remove runs. Callers that mutate membership at
+// runtime (the gateway's ring join/leave) must hold their own lock across
+// both lookups and mutations.
 type Ring struct {
 	replicas int
 	nodes    map[string]struct{}
@@ -111,6 +112,39 @@ func (r *Ring) Get(key string) string {
 		i = 0
 	}
 	return r.points[i].node
+}
+
+// GetN returns the first n distinct nodes at or clockwise of key's hash —
+// index 0 is the owner (same as Get), index 1 its successor, and so on.
+// The successor chain is what replication follows: a session owned by
+// GetN(id, 2)[0] ships its checkpoints to GetN(id, 2)[1]. Fewer than n
+// nodes are returned when the ring has fewer members.
+func (r *Ring) GetN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		node := r.points[i].node
+		if _, ok := seen[node]; !ok {
+			seen[node] = struct{}{}
+			out = append(out, node)
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+	}
+	return out
 }
 
 // Nodes returns the ring's members, sorted.

@@ -114,3 +114,56 @@ func TestEdgeCases(t *testing.T) {
 		t.Fatal("ring not empty after removing its only node")
 	}
 }
+
+// TestGetNSuccessorChain pins GetN's contract: index 0 agrees with Get, the
+// chain holds distinct nodes in clockwise order, is capped at the membership
+// size, and removing the owner promotes exactly the old successor to owner
+// for every key (the property replica failover relies on).
+func TestGetNSuccessorChain(t *testing.T) {
+	r := New(128)
+	r.Add("a", "b", "c", "d")
+	for _, k := range keys(2000) {
+		chain := r.GetN(k, 2)
+		if len(chain) != 2 {
+			t.Fatalf("key %q: chain %v, want length 2", k, chain)
+		}
+		if chain[0] != r.Get(k) {
+			t.Fatalf("key %q: GetN[0]=%q disagrees with Get=%q", k, chain[0], r.Get(k))
+		}
+		if chain[0] == chain[1] {
+			t.Fatalf("key %q: successor equals owner %q", k, chain[0])
+		}
+		full := r.GetN(k, 99)
+		if len(full) != 4 {
+			t.Fatalf("key %q: over-ask returned %d nodes", k, len(full))
+		}
+		seen := map[string]bool{}
+		for _, n := range full {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate node %q in chain %v", k, n, full)
+			}
+			seen[n] = true
+		}
+	}
+
+	// Failover property: with the owner gone, the old successor owns the key.
+	for _, k := range keys(500) {
+		chain := r.GetN(k, 2)
+		r2 := New(128)
+		for _, n := range r.Nodes() {
+			if n != chain[0] {
+				r2.Add(n)
+			}
+		}
+		if got := r2.Get(k); got != chain[1] {
+			t.Fatalf("key %q: after losing owner %q, Get=%q, want successor %q", k, chain[0], got, chain[1])
+		}
+	}
+
+	if got := New(64).GetN("x", 3); got != nil {
+		t.Fatalf("empty ring: GetN = %v, want nil", got)
+	}
+	if got := r.GetN("x", 0); got != nil {
+		t.Fatalf("n=0: GetN = %v, want nil", got)
+	}
+}

@@ -35,7 +35,10 @@ import (
 // envelope or the gob payload structs; Load refuses other versions with a
 // *VersionError rather than guessing. Forward compatibility is out of scope —
 // re-train or convert with a build that speaks both versions.
-const FormatVersion = 1
+//
+// History: v1 — initial envelope; v2 — StreamState gained the ownership
+// epoch (replica-promotion fencing) and the idempotent-replay cache.
+const FormatVersion = 2
 
 // magic identifies MCDC snapshot files; it is followed by a kind byte and
 // the format version byte.

@@ -132,6 +132,17 @@ func TestLoadRejectsGarbageAndVersions(t *testing.T) {
 	if _, err := Load(bytes.NewReader(bad)); err == nil {
 		t.Fatal("wrong kind accepted")
 	}
+
+	// A pre-epoch checkpoint (format version 1, before OwnerEpoch and the
+	// replay cache) must be refused with a VersionError, never handed to gob.
+	bad = append([]byte(nil), raw...)
+	bad[len(magic)+1] = 1
+	verr = nil
+	if _, err := Load(bytes.NewReader(bad)); !errors.As(err, &verr) {
+		t.Fatalf("v1 snapshot: got %v, want *VersionError", err)
+	} else if verr.Got != 1 || verr.Want != FormatVersion {
+		t.Fatalf("v1 version error carries %+v", verr)
+	}
 }
 
 func TestAssignValidation(t *testing.T) {

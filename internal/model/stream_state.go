@@ -56,6 +56,24 @@ type StreamState struct {
 
 	// RandSeed seeds the random stream both sides continue on.
 	RandSeed int64
+
+	// OwnerEpoch is the session's ownership fencing token (format version 2).
+	// Every replica promotion increments it; a backend receiving a shipped
+	// checkpoint whose epoch is lower than what it already holds rejects the
+	// ship, so a zombie primary that lost ownership cannot overwrite the
+	// promoted replica's newer state. Fresh sessions start at 0.
+	OwnerEpoch int64
+
+	// Idempotent-replay cache (format version 2): the request id and response
+	// of the last applied assignment. A retried assign carrying the same
+	// non-empty request id and row returns this cached response without
+	// re-applying the row, which makes gateway retries after an ambiguous
+	// failure (owner died between checkpoint-ship and respond) exactly-once.
+	LastReqID      string
+	LastRow        []int
+	LastCluster    int
+	LastSimilarity float64
+	LastModelEpoch int
 }
 
 // Save writes the checkpoint to w in the versioned envelope format.

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mcdc/internal/testenv"
+)
+
+// Chaos suite: backends misbehave mid-traffic — killed, hung, blackholed —
+// and the contract under test is absolute: every admitted request answers
+// 200, and every session's answer stream stays byte-identical to an
+// uninterrupted reference run. Faults are injected at the gateway's
+// transport (testenv.FaultRoundTripper), so a specific backend can fail in a
+// specific way without owning its process, and the suite runs under -race.
+
+// chaosFleet boots a replicated 3-backend fleet fronted by a gateway whose
+// transport is fault-injectable, plus a solo replicated reference daemon.
+func chaosFleet(t *testing.T) (*testenv.FaultRoundTripper, *Gateway, string, []*Server, []string, string) {
+	t.Helper()
+	frt := testenv.NewFaultRoundTripper(nil)
+	frt.HangDelay = 2 * time.Second
+	gw, gts, backends, tss := gatewayFleetCfg(t, 3, Config{Replicate: true}, GatewayConfig{
+		Timeout:      500 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Transport:    frt,
+		FleetSecret:  "chaos",
+	})
+	snap, _, _ := trainModel(t, 200, 6, 3, 71)
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, soloTS := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir()})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, len(tss))
+	for i, ts := range tss {
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	return frt, gw, gts.URL, backends, addrs, soloTS.URL
+}
+
+// sessionOwner asks the gateway which backend currently owns a session.
+func sessionOwner(t *testing.T, gwURL, id string) string {
+	t.Helper()
+	_, data := get(t, gwURL+"/ring?session="+id)
+	var ring struct {
+		Backend string `json:"backend"`
+	}
+	if err := json.Unmarshal(data, &ring); err != nil {
+		t.Fatal(err)
+	}
+	return ring.Backend
+}
+
+// TestChaosOwnerFaultsMidStream drives one session per fault kind: its owner
+// is killed / hung / blackholed mid-stream, the gateway fails over to the
+// replica, and the stream finishes with zero failed requests and a tail
+// byte-identical to the uninterrupted reference run.
+func TestChaosOwnerFaultsMidStream(t *testing.T) {
+	frt, gw, gwURL, _, _, soloURL := chaosFleet(t)
+	_, rows, _ := trainModel(t, 200, 6, 3, 71)
+
+	cut, total := 25, 60
+	if testenv.Nightly() {
+		cut, total = 80, 200
+	}
+	for si, kind := range []testenv.FaultKind{testenv.FaultKill, testenv.FaultHang, testenv.FaultBlackhole} {
+		t.Run(kind.String(), func(t *testing.T) {
+			id := fmt.Sprintf("chaos-%s", kind)
+			createSession(t, gwURL, id, 40, int64(100+si))
+			createSession(t, soloURL, id, 40, int64(100+si))
+			head := feedSession(t, gwURL, id, rows, 0, cut)
+			soloHead := feedSession(t, soloURL, id, rows, 0, cut)
+			for i := range head {
+				if head[i] != soloHead[i] {
+					t.Fatalf("arrival %d diverged before the fault", i)
+				}
+			}
+
+			owner := sessionOwner(t, gwURL, id)
+			before := gw.failovers.Load()
+			rule := frt.Add(&testenv.FaultRule{Host: owner, Kind: kind})
+			// feedSession fails the test on any non-200: this is the
+			// zero-failed-requests assertion.
+			tail := feedSession(t, gwURL, id, rows, cut, total)
+			frt.Remove(rule)
+			soloTail := feedSession(t, soloURL, id, rows, cut, total)
+			for i := range tail {
+				if tail[i] != soloTail[i] {
+					t.Fatalf("arrival %d diverged after the fault:\n fleet %q\n solo  %q", cut+i, tail[i], soloTail[i])
+				}
+			}
+			if frt.Injected(kind) == 0 {
+				t.Fatalf("no %s fault was actually injected", kind)
+			}
+			if gw.failovers.Load() <= before {
+				t.Fatalf("owner fault did not trigger a failover (counter still %d)", before)
+			}
+		})
+	}
+}
+
+// TestChaosStatelessTrafficReroutes blackholes one backend under pure
+// stateless load: every row still answers 200 (rows re-place along the ring
+// chain) and the answers match the reference daemon byte for byte.
+func TestChaosStatelessTrafficReroutes(t *testing.T) {
+	frt, _, gwURL, _, addrs, soloURL := chaosFleet(t)
+	_, rows, _ := trainModel(t, 200, 6, 3, 71)
+
+	n := 40
+	if testenv.Nightly() {
+		n = 160
+	}
+	rule := frt.Add(&testenv.FaultRule{Host: addrs[1], Kind: testenv.FaultBlackhole})
+	defer frt.Remove(rule)
+	for i := 0; i < n; i++ {
+		body := map[string]any{"model": "m", "row": rows[i%len(rows)]}
+		gresp, gdata := post(t, gwURL+"/assign", body)
+		if gresp.StatusCode != http.StatusOK {
+			t.Fatalf("stateless row %d: %d %s", i, gresp.StatusCode, gdata)
+		}
+		sresp, sdata := post(t, soloURL+"/assign", body)
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("solo row %d: %d", i, sresp.StatusCode)
+		}
+		if string(gdata) != string(sdata) {
+			t.Fatalf("stateless row %d diverged:\n fleet %q\n solo  %q", i, gdata, sdata)
+		}
+	}
+}
+
+// TestReplicaPromotionBitIdenticalTail is the property test for the
+// replication layer itself, no gateway involved: a session is cut at a
+// seeded-random request index by promoting its replica on the standby, the
+// stream resumes there, and the tail is bit-identical to an uninterrupted
+// run — at Workers 1, 2, and GOMAXPROCS (the WithParallelism determinism
+// contract extends through checkpoint shipping and promotion).
+func TestReplicaPromotionBitIdenticalTail(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 73)
+	total := 80
+	if testenv.Nightly() {
+		total = 200
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cut := 1 + rng.Intn(total-1)
+			t.Logf("cut at request index %d of %d", cut, total)
+
+			// Primary + standby, replication wired both ways.
+			primary, pts := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir(), Workers: workers})
+			standby, sts := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir(), Workers: workers})
+			pAddr := strings.TrimPrefix(pts.URL, "http://")
+			sAddr := strings.TrimPrefix(sts.URL, "http://")
+			primary.ConfigureReplication(pAddr, []string{pAddr, sAddr}, "")
+			standby.ConfigureReplication(sAddr, []string{pAddr, sAddr}, "")
+			solo, soloTS := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir(), Workers: workers})
+			for _, s := range []*Server{primary, standby, solo} {
+				if err := s.AddModel("m", snap); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			createSession(t, pts.URL, "prop", 40, 99)
+			createSession(t, soloTS.URL, "prop", 40, 99)
+			head := feedSession(t, pts.URL, "prop", rows, 0, cut)
+			soloHead := feedSession(t, soloTS.URL, "prop", rows, 0, cut)
+			for i := range head {
+				if head[i] != soloHead[i] {
+					t.Fatalf("arrival %d diverged before the cut", i)
+				}
+			}
+
+			// "Kill" the primary by promoting its replica on the standby —
+			// the exact operation a gateway failover performs.
+			resp, data := post(t, sts.URL+"/sessions/prop/promote", nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("promote on standby: %d %s", resp.StatusCode, data)
+			}
+			pts.Close()
+			primary.Close()
+
+			tail := feedSession(t, sts.URL, "prop", rows, cut, total)
+			soloTail := feedSession(t, soloTS.URL, "prop", rows, cut, total)
+			for i := range tail {
+				if tail[i] != soloTail[i] {
+					t.Fatalf("arrival %d diverged after promotion:\n standby %q\n solo    %q", cut+i, tail[i], soloTail[i])
+				}
+			}
+		})
+	}
+}

@@ -35,6 +35,9 @@ const (
 	// backends (transport failure or a malformed backend answer — backend
 	// HTTP errors themselves are relayed unchanged, keeping their own code).
 	codeBadGateway = "bad_gateway"
+	// codeForbidden: an intra-fleet endpoint (replica shipping, promotion,
+	// membership) was called without the configured fleet secret.
+	codeForbidden = "forbidden"
 )
 
 type errorResponse struct {

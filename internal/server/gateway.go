@@ -45,9 +45,7 @@ import (
 // (resuming their sessions from -state-dir) without the gateway noticing
 // beyond failed requests during the gap.
 type Gateway struct {
-	cfg      GatewayConfig
-	backends []string // normalized, deduped, sorted
-	ring     *hashring.Ring
+	cfg GatewayConfig
 	// client proxies traffic; probe is a short-timeout client for health
 	// checks — a hung backend must cost /healthz a bounded wait, not the
 	// full proxy timeout.
@@ -58,8 +56,26 @@ type Gateway struct {
 	obs    *obs // request ids + structured request logging
 	log    *slog.Logger
 	start  time.Time
-	up     map[string]*atomic.Bool  // health-check verdict per backend
-	sheds  map[string]*atomic.Int64 // 429s observed per backend (admission sheds)
+
+	// placeMu guards placement: ring membership, the backend list, and the
+	// session overrides recorded by failover/migration. Request routing takes
+	// it shared; ring join/leave takes it exclusively, which is what makes a
+	// membership cutover atomic — no request can place against a half-updated
+	// ring. stateMu guards the per-backend atomics maps and is never held
+	// across a network call, so membership changes (which do call out while
+	// holding placeMu) can still read counters. Lock order: placeMu → stateMu.
+	placeMu   sync.RWMutex
+	backends  []string // normalized, deduped, sorted
+	ring      *hashring.Ring
+	overrides map[string]string // session id → backend, when off ring placement
+
+	stateMu sync.RWMutex
+	up      map[string]*atomic.Bool  // health verdict per backend
+	sheds   map[string]*atomic.Int64 // 429s observed per backend (admission sheds)
+	retries map[string]*atomic.Int64 // transient-failure retries per backend
+
+	failovers atomic.Int64 // sessions promoted onto a replica after owner loss
+	hedges    atomic.Int64 // hedge requests launched against a slow backend
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -79,6 +95,29 @@ type GatewayConfig struct {
 	HealthEvery time.Duration
 	// Timeout bounds each proxied backend request (0 → 30s).
 	Timeout time.Duration
+	// Retries is how many times a transiently failed backend request
+	// (connection refused/reset, timeout, severed connection) is retried
+	// against the same backend before the gateway gives up on it and fails
+	// over (< 0 disables; 0 → default 2). Application-level errors are never
+	// retried — they are relayed verbatim.
+	Retries int
+	// RetryBackoff is the initial delay between retries; it doubles per
+	// attempt and caps at 1s (0 → 25ms).
+	RetryBackoff time.Duration
+	// HedgeAfter, when > 0, launches a hedge request against the next
+	// backend in the key's ring chain if a stateless single assignment has
+	// not answered within this duration; the first response wins. Only
+	// stateless traffic hedges — a session assignment is not idempotent
+	// until its owner has been failed over.
+	HedgeAfter time.Duration
+	// FleetSecret authenticates the gateway to the backends' intra-fleet
+	// endpoints (promotion, migration, membership pushes) and must match the
+	// backends' -fleet-secret.
+	FleetSecret string
+	// Transport overrides the HTTP transport used for backend traffic —
+	// the fault-injection hook (internal/testenv.FaultRoundTripper). nil
+	// uses http.DefaultTransport.
+	Transport http.RoundTripper
 	// Logger receives structured operational and request logs (nil = silent).
 	Logger *slog.Logger
 	// LogSlow logs any request slower than this at Warn level, with its
@@ -107,27 +146,30 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	probeTimeout := 2 * time.Second
+	if timeout < probeTimeout {
+		probeTimeout = timeout
+	}
 	g := &Gateway{
-		cfg:      cfg,
-		backends: backends,
-		ring:     hashring.New(cfg.Replicas),
-		client:   &http.Client{Timeout: timeout},
-		probe:    &http.Client{Timeout: 2 * time.Second},
-		mux:      http.NewServeMux(),
-		httpm:    newHTTPMetrics(),
-		obs:      newObs(cfg.Logger, cfg.LogSlow),
-		start:    time.Now(),
-		up:       make(map[string]*atomic.Bool, len(backends)),
-		sheds:    make(map[string]*atomic.Int64, len(backends)),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		backends:  backends,
+		ring:      hashring.New(cfg.Replicas),
+		client:    &http.Client{Timeout: timeout, Transport: cfg.Transport},
+		probe:     &http.Client{Timeout: probeTimeout, Transport: cfg.Transport},
+		mux:       http.NewServeMux(),
+		httpm:     newHTTPMetrics(),
+		obs:       newObs(cfg.Logger, cfg.LogSlow),
+		start:     time.Now(),
+		overrides: make(map[string]string),
+		up:        make(map[string]*atomic.Bool, len(backends)),
+		sheds:     make(map[string]*atomic.Int64, len(backends)),
+		retries:   make(map[string]*atomic.Int64, len(backends)),
+		stop:      make(chan struct{}),
 	}
 	g.log = g.obs.log
 	g.ring.Add(backends...)
 	for _, b := range backends {
-		up := &atomic.Bool{}
-		up.Store(true)
-		g.up[b] = up
-		g.sheds[b] = &atomic.Int64{}
+		g.initBackendState(b)
 	}
 	g.routes()
 	if cfg.HealthEvery > 0 {
@@ -147,7 +189,7 @@ func (g *Gateway) Close() {
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
 // Backends returns the (sorted) backend membership.
-func (g *Gateway) Backends() []string { return append([]string(nil), g.backends...) }
+func (g *Gateway) Backends() []string { return g.backendList() }
 
 func (g *Gateway) routes() {
 	// Mirrors Server.handle: the canonical /v1 route plus the pre-versioning
@@ -162,6 +204,8 @@ func (g *Gateway) routes() {
 	handle("GET /healthz", g.handleHealthz)
 	handle("GET /metrics", g.handleMetrics)
 	handle("GET /ring", g.handleRing)
+	handle("POST /ring/join", g.handleRingJoin)
+	handle("POST /ring/leave", g.handleRingLeave)
 	handle("GET /models", g.handleListModels)
 	handle("POST /models", g.handleBroadcastModels)
 	handle("DELETE /models/{name}", g.handleDeleteModel)
@@ -241,6 +285,9 @@ func (g *Gateway) doCT(client *http.Client, method, backend, path string, body [
 	if reqID != "" {
 		req.Header.Set(RequestIDHeader, reqID)
 	}
+	if g.cfg.FleetSecret != "" {
+		req.Header.Set(fleetSecretHeader, g.cfg.FleetSecret)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -258,7 +305,7 @@ func (g *Gateway) doCT(client *http.Client, method, backend, path string, body [
 // counters: a 429 means that backend's admission valve shed the request.
 func (g *Gateway) noteStatus(backend string, status int) {
 	if status == http.StatusTooManyRequests {
-		if c, ok := g.sheds[backend]; ok {
+		if c := g.shedCounter(backend); c != nil {
 			c.Add(1)
 		}
 	}
@@ -319,17 +366,19 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
-	var key string
 	switch {
 	case req.Session != "":
-		key = sessionKey(req.Session)
+		g.forwardSession(w, http.MethodPost, req.Session, "/v1/assign", raw, reqIDOf(r))
 	case req.Model != "":
-		key = rowKey(req.Model, req.Row)
+		key := rowKey(req.Model, req.Row)
+		if g.cfg.HedgeAfter > 0 {
+			g.forwardStatelessHedged(w, key, "/v1/assign", raw, reqIDOf(r))
+			return
+		}
+		g.forwardStateless(w, http.MethodPost, key, "/v1/assign", raw, reqIDOf(r))
 	default:
 		writeError(w, http.StatusBadRequest, codeBadRequest, "request names neither a model nor a session")
-		return
 	}
-	g.forward(w, http.MethodPost, g.ring.Get(key), "/v1/assign", raw, reqIDOf(r))
 }
 
 func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -344,12 +393,42 @@ func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	// An empty session id routes like any other key; the owning backend's
 	// validation rejects it with the same error a direct client would see.
-	g.forward(w, http.MethodPost, g.ring.Get(sessionKey(req.Session)), "/v1/sessions", raw, reqIDOf(r))
+	// When the ring owner is unreachable, the session is born on the next up
+	// backend in its chain and an override records the off-ring placement.
+	reqID := reqIDOf(r)
+	var lastErr error
+	for _, b := range g.sessionCandidates(req.Session) {
+		if lastErr != nil && !g.isUp(b) {
+			continue // skip known-down candidates once the owner has failed
+		}
+		status, data, hdr, err := g.doRetry(g.client, http.MethodPost, b, "/v1/sessions", raw, "application/json", reqID)
+		if err != nil {
+			lastErr = fmt.Errorf("backend %s: %w", b, err)
+			if _, transient := classifyTransient(err); transient {
+				continue
+			}
+			break
+		}
+		if status < http.StatusMultipleChoices && req.Session != "" {
+			g.setOverride(req.Session, b)
+		}
+		relay(w, status, hdr, data)
+		return
+	}
+	writeError(w, http.StatusBadGateway, codeBadGateway, "no backend could create the session: %v", lastErr)
 }
 
 func (g *Gateway) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	g.forward(w, http.MethodDelete, g.ring.Get(sessionKey(id)), "/v1/sessions/"+id, nil, reqIDOf(r))
+	g.forwardSession(w, http.MethodDelete, id, "/v1/sessions/"+id, nil, reqIDOf(r))
+	g.clearOverride(id)
+	// Scrub stray replicas fleet-wide: after failovers and migrations, a copy
+	// may be held off the current successor chain. Best-effort.
+	for _, b := range g.backendList() {
+		if g.isUp(b) {
+			_, _, _, _ = g.do(http.MethodDelete, b, "/v1/replica/"+id, nil, "")
+		}
+	}
 }
 
 // handleAssignBatch scatters a batch across the fleet by row key and gathers
@@ -371,80 +450,111 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "empty batch")
 		return
 	}
-	// Group row indices by owning backend.
-	groups := make(map[string][]int)
-	for i, row := range req.Rows {
-		b := g.ring.Get(rowKey(req.Model, row))
-		groups[b] = append(groups[b], i)
-	}
 	reqID := reqIDOf(r)
-	if len(groups) == 1 {
-		for b := range groups {
-			g.forward(w, http.MethodPost, b, "/v1/assign/batch", raw, reqID)
-			return
-		}
-	}
-	// Deterministic error precedence: scatter in sorted-backend order.
-	order := make([]string, 0, len(groups))
-	for b := range groups {
-		order = append(order, b)
-	}
-	sort.Strings(order)
-
-	type result struct {
-		status int
-		data   []byte
-		hdr    http.Header
-		err    error
-		resp   batchResponse
-	}
-	results := make(map[string]*result, len(order))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for _, b := range order {
-		wg.Add(1)
-		go func(b string) {
-			defer wg.Done()
-			sub := batchRequest{Model: req.Model, Rows: make([][]int, 0, len(groups[b]))}
-			for _, i := range groups[b] {
-				sub.Rows = append(sub.Rows, req.Rows[i])
-			}
-			body, err := json.Marshal(sub)
-			res := &result{err: err}
-			if err == nil {
-				res.status, res.data, res.hdr, res.err = g.do(http.MethodPost, b, "/v1/assign/batch", body, reqID)
-			}
-			if res.err == nil && res.status == http.StatusOK {
-				res.err = json.Unmarshal(res.data, &res.resp)
-			}
-			mu.Lock()
-			results[b] = res
-			mu.Unlock()
-		}(b)
-	}
-	wg.Wait()
-
 	merged := batchResponse{Model: req.Model, Assignments: make([]assignResponse, len(req.Rows))}
-	for _, b := range order {
-		res := results[b]
-		if res.err != nil {
-			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+	pending := make([]int, len(req.Rows))
+	for i := range pending {
+		pending[i] = i
+	}
+	var lastErr error
+	// Rounds of scatter/gather: rows whose backend failed transiently re-place
+	// (the failure marked it down) and retry against the rest of the fleet.
+	maxRounds := len(g.backendList()) + 1
+	for round := 0; len(pending) > 0; round++ {
+		if round >= maxRounds {
+			writeError(w, http.StatusBadGateway, codeBadGateway, "batch could not complete: %v", lastErr)
 			return
 		}
-		if res.status != http.StatusOK {
-			// Relay the first failing backend's verdict verbatim — including
-			// a shed's Retry-After (sorted order keeps the precedence
-			// deterministic).
-			relay(w, res.status, res.hdr, res.data)
-			return
+		// Group pending row indices by placement (up-aware).
+		groups := make(map[string][]int)
+		for _, i := range pending {
+			b := g.placeStateless(rowKey(req.Model, req.Rows[i]))
+			groups[b] = append(groups[b], i)
 		}
-		if len(res.resp.Assignments) != len(groups[b]) {
-			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s returned %d assignments for %d rows", b, len(res.resp.Assignments), len(groups[b]))
-			return
+		if round == 0 && len(groups) == 1 {
+			// Single owner and first attempt: forward the raw request — the
+			// byte-identity fast path. A transient failure falls through to
+			// the rerouting rounds.
+			var b string
+			for gb := range groups {
+				b = gb
+			}
+			status, data, hdr, err := g.doRetry(g.client, http.MethodPost, b, "/v1/assign/batch", raw, "application/json", reqID)
+			if err == nil {
+				relay(w, status, hdr, data)
+				return
+			}
+			lastErr = fmt.Errorf("backend %s: %w", b, err)
+			if _, transient := classifyTransient(err); !transient {
+				writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, err)
+				return
+			}
+			continue
 		}
-		for j, i := range groups[b] {
-			merged.Assignments[i] = res.resp.Assignments[j]
+		// Deterministic error precedence: scatter in sorted-backend order.
+		order := sortedKeys(groups)
+		type result struct {
+			status int
+			data   []byte
+			hdr    http.Header
+			err    error
+			resp   batchResponse
 		}
+		results := make(map[string]*result, len(order))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, b := range order {
+			wg.Add(1)
+			go func(b string) {
+				defer wg.Done()
+				sub := batchRequest{Model: req.Model, Rows: make([][]int, 0, len(groups[b]))}
+				for _, i := range groups[b] {
+					sub.Rows = append(sub.Rows, req.Rows[i])
+				}
+				body, err := json.Marshal(sub)
+				res := &result{err: err}
+				if err == nil {
+					res.status, res.data, res.hdr, res.err = g.doRetry(g.client, http.MethodPost, b, "/v1/assign/batch", body, "application/json", reqID)
+				}
+				if res.err == nil && res.status == http.StatusOK {
+					res.err = json.Unmarshal(res.data, &res.resp)
+				}
+				mu.Lock()
+				results[b] = res
+				mu.Unlock()
+			}(b)
+		}
+		wg.Wait()
+
+		var retry []int
+		for _, b := range order {
+			res := results[b]
+			if res.err != nil {
+				lastErr = fmt.Errorf("backend %s: %w", b, res.err)
+				if _, transient := classifyTransient(res.err); transient {
+					retry = append(retry, groups[b]...) // re-place next round
+					continue
+				}
+				writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+				return
+			}
+			if res.status != http.StatusOK {
+				// Relay the first failing backend's verdict verbatim — including
+				// a shed's Retry-After (sorted order keeps the precedence
+				// deterministic).
+				relay(w, res.status, res.hdr, res.data)
+				return
+			}
+			if len(res.resp.Assignments) != len(groups[b]) {
+				writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s returned %d assignments for %d rows", b, len(res.resp.Assignments), len(groups[b]))
+				return
+			}
+			for j, i := range groups[b] {
+				merged.Assignments[i] = res.resp.Assignments[j]
+			}
+		}
+		sort.Ints(retry)
+		pending = retry
 	}
 	// The epoch of the backend that served row 0 (all backends agree when the
 	// fleet serves one snapshot version, the deployment contract).
@@ -455,13 +565,15 @@ func (g *Gateway) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 // ---- broadcast endpoints ----
 
 // broadcast sends the same request to every backend in sorted order and
-// returns the per-backend outcomes.
-func (g *Gateway) broadcast(method, path string, body []byte, reqID string) (statuses []int, bodies [][]byte, errs []error) {
-	statuses = make([]int, len(g.backends))
-	bodies = make([][]byte, len(g.backends))
-	errs = make([]error, len(g.backends))
+// returns the membership snapshot it fanned out over plus the per-backend
+// outcomes (aligned by index).
+func (g *Gateway) broadcast(method, path string, body []byte, reqID string) (backends []string, statuses []int, bodies [][]byte, errs []error) {
+	backends = g.backendList()
+	statuses = make([]int, len(backends))
+	bodies = make([][]byte, len(backends))
+	errs = make([]error, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range g.backends {
+	for i, b := range backends {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
@@ -469,7 +581,7 @@ func (g *Gateway) broadcast(method, path string, body []byte, reqID string) (sta
 		}(i, b)
 	}
 	wg.Wait()
-	return statuses, bodies, errs
+	return backends, statuses, bodies, errs
 }
 
 // relayBroadcast writes the aggregate outcome of a fleet-wide operation: the
@@ -477,9 +589,9 @@ func (g *Gateway) broadcast(method, path string, body []byte, reqID string) (sta
 // failures otherwise. Operations routed through here are idempotent
 // (loading a snapshot, deleting a model, checkpointing), so a partial
 // failure is safely retried.
-func (g *Gateway) relayBroadcast(w http.ResponseWriter, statuses []int, bodies [][]byte, errs []error) {
+func (g *Gateway) relayBroadcast(w http.ResponseWriter, backends []string, statuses []int, bodies [][]byte, errs []error) {
 	var failures []string
-	for i, b := range g.backends {
+	for i, b := range backends {
 		switch {
 		case errs[i] != nil:
 			failures = append(failures, fmt.Sprintf("%s: %v", b, errs[i]))
@@ -488,7 +600,7 @@ func (g *Gateway) relayBroadcast(w http.ResponseWriter, statuses []int, bodies [
 		}
 	}
 	if len(failures) > 0 {
-		writeError(w, http.StatusBadGateway, codeBadGateway, "%d/%d backends failed: %s", len(failures), len(g.backends), strings.Join(failures, "; "))
+		writeError(w, http.StatusBadGateway, codeBadGateway, "%d/%d backends failed: %s", len(failures), len(backends), strings.Join(failures, "; "))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -501,29 +613,30 @@ func (g *Gateway) handleBroadcastModels(w http.ResponseWriter, r *http.Request) 
 	if !ok {
 		return
 	}
-	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/models", raw, reqIDOf(r))
-	g.relayBroadcast(w, statuses, bodies, errs)
+	backends, statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/models", raw, reqIDOf(r))
+	g.relayBroadcast(w, backends, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
-	statuses, bodies, errs := g.broadcast(http.MethodDelete, "/v1/models/"+r.PathValue("name"), nil, reqIDOf(r))
-	g.relayBroadcast(w, statuses, bodies, errs)
+	backends, statuses, bodies, errs := g.broadcast(http.MethodDelete, "/v1/models/"+r.PathValue("name"), nil, reqIDOf(r))
+	g.relayBroadcast(w, backends, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/checkpoint", nil, reqIDOf(r))
-	g.relayBroadcast(w, statuses, bodies, errs)
+	backends, statuses, bodies, errs := g.broadcast(http.MethodPost, "/v1/checkpoint", nil, reqIDOf(r))
+	g.relayBroadcast(w, backends, statuses, bodies, errs)
 }
 
 func (g *Gateway) handleListModels(w http.ResponseWriter, r *http.Request) {
 	// Fleet-identical state: any healthy backend answers for all.
-	for _, b := range g.backends {
-		if g.up[b].Load() {
+	backends := g.backendList()
+	for _, b := range backends {
+		if g.isUp(b) {
 			g.forward(w, http.MethodGet, b, "/v1/models", nil, reqIDOf(r))
 			return
 		}
 	}
-	g.forward(w, http.MethodGet, g.backends[0], "/v1/models", nil, reqIDOf(r))
+	g.forward(w, http.MethodGet, backends[0], "/v1/models", nil, reqIDOf(r))
 }
 
 // ---- health and metrics ----
@@ -540,13 +653,17 @@ func (g *Gateway) healthLoop() {
 			// Probes fan out concurrently so one hung backend cannot slip
 			// the whole fleet's cadence past -health.
 			var wg sync.WaitGroup
-			for _, b := range g.backends {
+			for _, b := range g.backendList() {
 				wg.Add(1)
 				go func(b string) {
 					defer wg.Done()
 					status, _, _, err := g.doWith(g.probe, http.MethodGet, b, "/v1/healthz", nil, "")
 					healthy := err == nil && status == http.StatusOK
-					if was := g.up[b].Swap(healthy); was != healthy {
+					flag := g.upFlag(b)
+					if flag == nil {
+						return // backend left the ring mid-probe
+					}
+					if was := flag.Swap(healthy); was != healthy {
 						if healthy {
 							g.log.Info("backend recovered", "backend", b)
 						} else {
@@ -560,11 +677,21 @@ func (g *Gateway) healthLoop() {
 	}
 }
 
+// handleHealthz distinguishes three fleet states:
+//
+//   - "ok" (200): every backend answered its health probe.
+//   - "degraded" (200): some backend is down, but at least one up backend
+//     runs with replication enabled — the down backend's sessions are
+//     covered by replica checkpoints and fail over on their next request,
+//     so the fleet still serves everything it admitted.
+//   - "down" (503): some backend is down and no surviving backend replicates
+//     (its sessions are stranded until it returns), or every backend is down.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type backendHealth struct {
-		Up       bool           `json:"up"`
-		Models   map[string]int `json:"models,omitempty"`
-		Sessions int            `json:"sessions"`
+		Up          bool           `json:"up"`
+		Models      map[string]int `json:"models,omitempty"`
+		Sessions    int            `json:"sessions"`
+		Replication bool           `json:"replication"`
 	}
 	type gwHealth struct {
 		Status        string                   `json:"status"`
@@ -572,13 +699,14 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Backends      map[string]backendHealth `json:"backends"`
 		Sessions      int                      `json:"sessions"`
 	}
+	backends := g.backendList()
 	h := gwHealth{Status: "ok", UptimeSeconds: time.Since(g.start).Seconds(), Backends: make(map[string]backendHealth)}
 	// Live probes, concurrent and short-timeout: the slowest backend (not
 	// the sum of all of them) bounds the response, and a hung one costs the
 	// probe timeout, not the proxy timeout.
-	probed := make([]backendHealth, len(g.backends))
+	probed := make([]backendHealth, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range g.backends {
+	for i, b := range backends {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
@@ -586,53 +714,72 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			if err == nil && status == http.StatusOK {
 				probed[i].Up = true
 				var inner struct {
-					Models   map[string]int `json:"models"`
-					Sessions int            `json:"sessions"`
+					Models      map[string]int `json:"models"`
+					Sessions    int            `json:"sessions"`
+					Replication bool           `json:"replication"`
 				}
 				if json.Unmarshal(data, &inner) == nil {
 					probed[i].Models = inner.Models
 					probed[i].Sessions = inner.Sessions
+					probed[i].Replication = inner.Replication
 				}
 			}
 		}(i, b)
 	}
 	wg.Wait()
-	for i, b := range g.backends {
+	anyDown, covered := false, false
+	for i, b := range backends {
 		bh := probed[i]
-		g.up[b].Store(bh.Up)
+		if f := g.upFlag(b); f != nil {
+			f.Store(bh.Up)
+		}
 		h.Backends[b] = bh
 		h.Sessions += bh.Sessions
 		if !bh.Up {
-			h.Status = "degraded"
+			anyDown = true
+		} else if bh.Replication {
+			covered = true
 		}
 	}
 	code := http.StatusOK
-	if h.Status != "ok" {
-		code = http.StatusServiceUnavailable
+	if anyDown {
+		if covered {
+			h.Status = "degraded"
+		} else {
+			h.Status = "down"
+			code = http.StatusServiceUnavailable
+		}
 	}
 	writeJSON(w, code, h)
 }
 
 func (g *Gateway) handleRing(w http.ResponseWriter, r *http.Request) {
 	type ringInfo struct {
-		Backends []string        `json:"backends"`
-		Up       map[string]bool `json:"up"`
-		Key      string          `json:"key,omitempty"`
-		Session  string          `json:"session,omitempty"`
-		Backend  string          `json:"backend,omitempty"`
+		Backends  []string        `json:"backends"`
+		Up        map[string]bool `json:"up"`
+		Overrides int             `json:"overrides"`
+		Key       string          `json:"key,omitempty"`
+		Session   string          `json:"session,omitempty"`
+		Backend   string          `json:"backend,omitempty"`
 	}
-	info := ringInfo{Backends: g.Backends(), Up: make(map[string]bool, len(g.backends))}
-	for _, b := range g.backends {
-		info.Up[b] = g.up[b].Load()
+	backends := g.backendList()
+	info := ringInfo{Backends: backends, Up: make(map[string]bool, len(backends))}
+	for _, b := range backends {
+		info.Up[b] = g.isUp(b)
 	}
-	// ?session=<id> answers "which backend owns this session"; ?key=<k>
-	// places a raw ring key.
+	g.placeMu.RLock()
+	info.Overrides = len(g.overrides)
+	g.placeMu.RUnlock()
+	// ?session=<id> answers "which backend owns this session" (override
+	// included); ?key=<k> places a raw ring key.
 	if id := r.URL.Query().Get("session"); id != "" {
 		info.Session = id
-		info.Backend = g.ring.Get(sessionKey(id))
+		info.Backend = g.placeSession(id)
 	} else if key := r.URL.Query().Get("key"); key != "" {
-		info.Key = key
+		g.placeMu.RLock()
 		info.Backend = g.ring.Get(key)
+		g.placeMu.RUnlock()
+		info.Key = key
 	}
 	writeJSON(w, http.StatusOK, info)
 }
@@ -640,29 +787,43 @@ func (g *Gateway) handleRing(w http.ResponseWriter, r *http.Request) {
 // handleMetrics sums every backend's Prometheus series and appends the
 // gateway's own counters, so one scrape sees fleet-wide traffic.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	_, bodies, errs := g.broadcast(http.MethodGet, "/v1/metrics", nil, reqIDOf(r))
+	backends, _, bodies, errs := g.broadcast(http.MethodGet, "/v1/metrics", nil, reqIDOf(r))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	reachable := make([][]byte, 0, len(bodies))
 	sources := make([]string, 0, len(bodies))
 	for i := range bodies {
 		if errs[i] == nil {
 			reachable = append(reachable, bodies[i])
-			sources = append(sources, g.backends[i])
+			sources = append(sources, backends[i])
 		}
 	}
 	_, _ = w.Write(aggregateMetrics(reachable, sources))
 	fmt.Fprintf(w, "# HELP mcdcd_gateway_backend_up Last health verdict per backend (1 = up).\n# TYPE mcdcd_gateway_backend_up gauge\n")
-	for i, b := range g.backends {
+	for i, b := range backends {
 		v := 0
-		if g.up[b].Load() && errs[i] == nil {
+		if g.isUp(b) && errs[i] == nil {
 			v = 1
 		}
 		fmt.Fprintf(w, "mcdcd_gateway_backend_up{backend=%q} %d\n", b, v)
 	}
 	fmt.Fprintf(w, "# HELP mcdcd_gateway_backend_sheds_total Backend 429 responses observed by the gateway, per backend.\n# TYPE mcdcd_gateway_backend_sheds_total counter\n")
-	for _, b := range g.backends {
-		fmt.Fprintf(w, "mcdcd_gateway_backend_sheds_total{backend=%q} %d\n", b, g.sheds[b].Load())
+	for _, b := range backends {
+		n := int64(0)
+		if c := g.shedCounter(b); c != nil {
+			n = c.Load()
+		}
+		fmt.Fprintf(w, "mcdcd_gateway_backend_sheds_total{backend=%q} %d\n", b, n)
 	}
+	fmt.Fprintf(w, "# HELP mcdcd_gateway_retries_total Transient-failure retries issued by the gateway, per backend.\n# TYPE mcdcd_gateway_retries_total counter\n")
+	for _, b := range backends {
+		n := int64(0)
+		if c := g.retryCounter(b); c != nil {
+			n = c.Load()
+		}
+		fmt.Fprintf(w, "mcdcd_gateway_retries_total{backend=%q} %d\n", b, n)
+	}
+	fmt.Fprintf(w, "# HELP mcdcd_gateway_failovers_total Sessions promoted onto a replica after their owner became unreachable.\n# TYPE mcdcd_gateway_failovers_total counter\nmcdcd_gateway_failovers_total %d\n", g.failovers.Load())
+	fmt.Fprintf(w, "# HELP mcdcd_gateway_hedges_total Hedge requests launched against a slow backend.\n# TYPE mcdcd_gateway_hedges_total counter\nmcdcd_gateway_hedges_total %d\n", g.hedges.Load())
 	g.httpm.write(w, "mcdcd_gateway_http_requests_total", "mcdcd_gateway_http_errors_total", "mcdcd_gateway_http_request_duration_seconds")
 	fmt.Fprintf(w, "# HELP mcdcd_gateway_uptime_seconds Gateway uptime.\n# TYPE mcdcd_gateway_uptime_seconds gauge\nmcdcd_gateway_uptime_seconds %g\n", time.Since(g.start).Seconds())
 	writeRuntimeMetrics(w, "mcdcd_gateway")

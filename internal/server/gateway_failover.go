@@ -1,0 +1,668 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mcdc/internal/hashring"
+)
+
+// Gateway fault tolerance. Three layers turn backend loss and ring changes
+// into non-events for clients:
+//
+//  1. Retry with capped exponential backoff: a transiently failed backend
+//     request (connection refused/reset, timeout, severed connection) is
+//     retried in place; application errors are relayed verbatim, never
+//     retried.
+//  2. Failover: when a session's owner stays unreachable, the gateway walks
+//     the session's ring-successor chain promoting the first backend that
+//     holds a replica checkpoint (bumping the ownership epoch, which fences
+//     the zombie primary), records a placement override, and redelivers the
+//     request — with the same request id, so the backend's replay cache
+//     absorbs an ambiguous first delivery. Stateless traffic just reroutes
+//     to the next up backend in the chain.
+//  3. Live membership: POST /v1/ring/{join,leave} migrate moving sessions'
+//     checkpoints under the exclusive placement lock, then cut the ring
+//     over — no request ever places against a half-updated ring.
+//
+// Lock order is placeMu → stateMu, and network calls never happen under
+// stateMu — so counters stay readable (noteStatus) from inside a membership
+// change that holds placeMu exclusively.
+
+// ---- per-backend state ----
+
+// initBackendState registers the health/counter atomics for one backend.
+func (g *Gateway) initBackendState(b string) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	up := &atomic.Bool{}
+	up.Store(true)
+	g.up[b] = up
+	g.sheds[b] = &atomic.Int64{}
+	g.retries[b] = &atomic.Int64{}
+}
+
+func (g *Gateway) dropBackendState(b string) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	delete(g.up, b)
+	delete(g.sheds, b)
+	delete(g.retries, b)
+}
+
+// backendList snapshots the membership for lock-free iteration.
+func (g *Gateway) backendList() []string {
+	g.placeMu.RLock()
+	defer g.placeMu.RUnlock()
+	return append([]string(nil), g.backends...)
+}
+
+func (g *Gateway) upFlag(b string) *atomic.Bool {
+	g.stateMu.RLock()
+	defer g.stateMu.RUnlock()
+	return g.up[b]
+}
+
+func (g *Gateway) isUp(b string) bool {
+	f := g.upFlag(b)
+	return f != nil && f.Load()
+}
+
+// markDown records a passively detected failure (a transient transport error
+// on live traffic) so placement stops preferring the backend before the next
+// health-probe tick.
+func (g *Gateway) markDown(b string) {
+	if f := g.upFlag(b); f != nil && f.Swap(false) {
+		g.log.Warn("backend marked down on transport failure", "backend", b)
+	}
+}
+
+func (g *Gateway) shedCounter(b string) *atomic.Int64 {
+	g.stateMu.RLock()
+	defer g.stateMu.RUnlock()
+	return g.sheds[b]
+}
+
+func (g *Gateway) retryCounter(b string) *atomic.Int64 {
+	g.stateMu.RLock()
+	defer g.stateMu.RUnlock()
+	return g.retries[b]
+}
+
+// ---- placement ----
+
+// placeSession returns the backend that owns a session: a recorded override
+// (failover or migration placement) wins over the ring.
+func (g *Gateway) placeSession(id string) string {
+	g.placeMu.RLock()
+	defer g.placeMu.RUnlock()
+	return g.placeLocked(id)
+}
+
+// placeLocked is placeSession with placeMu already held.
+func (g *Gateway) placeLocked(id string) string {
+	if b, ok := g.overrides[id]; ok {
+		return b
+	}
+	return g.ring.Get(sessionKey(id))
+}
+
+// placeStateless returns the first up backend in the key's ring-successor
+// chain. With the whole fleet up this is exactly the ring owner — the
+// deterministic placement the byte-identity contract pins — and with owners
+// down, stateless traffic (which any backend can serve) slides along the
+// chain instead of failing.
+func (g *Gateway) placeStateless(key string) string {
+	g.placeMu.RLock()
+	chain := g.ring.GetN(key, g.ring.Len())
+	g.placeMu.RUnlock()
+	for _, b := range chain {
+		if g.isUp(b) {
+			return b
+		}
+	}
+	if len(chain) > 0 {
+		return chain[0] // nothing is marked up; let the request fail honestly
+	}
+	return ""
+}
+
+// statelessPair returns the first two up backends in the key's chain — the
+// primary placement plus the hedge target.
+func (g *Gateway) statelessPair(key string) (first, second string) {
+	g.placeMu.RLock()
+	chain := g.ring.GetN(key, g.ring.Len())
+	g.placeMu.RUnlock()
+	for _, b := range chain {
+		if !g.isUp(b) {
+			continue
+		}
+		if first == "" {
+			first = b
+			continue
+		}
+		return first, b
+	}
+	return first, ""
+}
+
+// sessionCandidates returns the session's full ring-successor chain — the
+// failover search order.
+func (g *Gateway) sessionCandidates(id string) []string {
+	g.placeMu.RLock()
+	defer g.placeMu.RUnlock()
+	return g.ring.GetN(sessionKey(id), g.ring.Len())
+}
+
+func (g *Gateway) setOverride(id, backend string) {
+	g.placeMu.Lock()
+	defer g.placeMu.Unlock()
+	if g.ring.Get(sessionKey(id)) == backend {
+		delete(g.overrides, id) // back on ring placement; no override needed
+		return
+	}
+	g.overrides[id] = backend
+}
+
+func (g *Gateway) clearOverride(id string) {
+	g.placeMu.Lock()
+	defer g.placeMu.Unlock()
+	delete(g.overrides, id)
+}
+
+// ---- transient-error classification and retry ----
+
+// classifyTransient sorts a backend request error into retryable transport
+// failures (the backend or network died; the request may not have been
+// processed) vs everything else (caller cancellation, malformed requests) —
+// only the former justify retry and failover.
+func classifyTransient(err error) (kind string, transient bool) {
+	switch {
+	case err == nil:
+		return "", false
+	case errors.Is(err, context.Canceled):
+		return "canceled", false
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "refused", true
+	case errors.Is(err, syscall.ECONNRESET):
+		return "reset", true
+	case errors.Is(err, syscall.EPIPE):
+		return "pipe", true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout", true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return "eof", true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return "net:" + oe.Op, true
+	}
+	// The HTTP transport wraps some mid-body failures in plain error strings;
+	// a severed connection is transient by nature.
+	if s := err.Error(); strings.Contains(s, "connection reset") || strings.Contains(s, "broken pipe") ||
+		strings.Contains(s, "server closed") || strings.Contains(s, "transport connection broken") ||
+		strings.Contains(s, "EOF") {
+		return "severed", true
+	}
+	return "other", false
+}
+
+const (
+	defaultRetries      = 2
+	defaultRetryBackoff = 25 * time.Millisecond
+	maxRetryBackoff     = time.Second
+)
+
+func (g *Gateway) retryBudget() (attempts int, backoff time.Duration) {
+	switch {
+	case g.cfg.Retries < 0:
+		attempts = 1
+	case g.cfg.Retries == 0:
+		attempts = 1 + defaultRetries
+	default:
+		attempts = 1 + g.cfg.Retries
+	}
+	backoff = g.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	return attempts, backoff
+}
+
+// doRetry is doCT plus the transient-failure retry loop: capped exponential
+// backoff against the same backend, counting mcdcd_gateway_retries_total per
+// re-attempt. It returns the last error once the budget is exhausted
+// (marking the backend down) or immediately on a non-transient failure.
+func (g *Gateway) doRetry(client *http.Client, method, backend, path string, body []byte, ctype, reqID string) (status int, data []byte, hdr http.Header, err error) {
+	attempts, backoff := g.retryBudget()
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if c := g.retryCounter(backend); c != nil {
+				c.Add(1)
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+		}
+		status, data, hdr, err = g.doCT(client, method, backend, path, body, ctype, reqID)
+		if err == nil {
+			return status, data, hdr, nil
+		}
+		kind, transient := classifyTransient(err)
+		if !transient {
+			return 0, nil, nil, err
+		}
+		g.log.Warn("transient backend failure", "backend", backend, "path", path, "kind", kind, "attempt", i+1, "err", err)
+	}
+	g.markDown(backend)
+	return 0, nil, nil, err
+}
+
+// ---- session failover ----
+
+// failoverSession walks the session's ring-successor chain promoting the
+// first backend that holds a replica of the session. On success the
+// placement override is recorded and the new owner returned. failed is the
+// backend that just proved unreachable and is skipped.
+func (g *Gateway) failoverSession(id, reqID, failed string) (string, bool) {
+	for _, b := range g.sessionCandidates(id) {
+		if b == failed {
+			continue
+		}
+		status, data, _, err := g.do(http.MethodPost, b, "/v1/sessions/"+id+"/promote", nil, reqID)
+		if err != nil {
+			if _, transient := classifyTransient(err); transient {
+				g.markDown(b)
+			}
+			continue
+		}
+		switch status {
+		case http.StatusOK:
+			g.setOverride(id, b)
+			g.failovers.Add(1)
+			g.log.Warn("session failed over", "session", id, "from", failed, "to", b)
+			return b, true
+		case http.StatusNotFound:
+			continue // no replica held there; keep walking the chain
+		default:
+			g.log.Warn("promote refused", "session", id, "backend", b, "status", status, "body", strings.TrimSpace(string(data)))
+		}
+	}
+	return "", false
+}
+
+// probeSessionOwner finds which up backend actually holds a session the
+// placed backend answered unknown_session for — the recovery path after a
+// gateway restart lost its overrides (placement knowledge outlives the
+// gateway in the backends themselves).
+func (g *Gateway) probeSessionOwner(id, placed string) (string, bool) {
+	for _, b := range g.backendList() {
+		if b == placed || !g.isUp(b) {
+			continue
+		}
+		status, data, _, err := g.do(http.MethodGet, b, "/v1/sessions", nil, "")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var inv struct {
+			Sessions []string `json:"sessions"`
+		}
+		if json.Unmarshal(data, &inv) != nil {
+			continue
+		}
+		for _, have := range inv.Sessions {
+			if have == id {
+				g.setOverride(id, b)
+				g.log.Info("relocated session by fleet probe", "session", id, "backend", b)
+				return b, true
+			}
+		}
+	}
+	return "", false
+}
+
+// bodyHasCode reports whether an error envelope names the stable code.
+func bodyHasCode(data []byte, code string) bool {
+	return strings.Contains(string(data), `"`+code+`"`)
+}
+
+// forwardSession delivers one session-routed request with the full recovery
+// ladder: retry in place, then failover to a promoted replica, then a fleet
+// probe for a relocated session — redelivering with the same request id so
+// the replay cache keeps an ambiguously delivered assignment exactly-once.
+func (g *Gateway) forwardSession(w http.ResponseWriter, method, id, path string, body []byte, reqID string) {
+	backend := g.placeSession(id)
+	status, data, hdr, err := g.doRetry(g.client, method, backend, path, body, "application/json", reqID)
+	if err != nil {
+		if _, transient := classifyTransient(err); transient {
+			if next, ok := g.failoverSession(id, reqID, backend); ok {
+				status, data, hdr, err = g.doRetry(g.client, method, next, path, body, "application/json", reqID)
+			}
+		}
+		if err != nil {
+			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", backend, err)
+			return
+		}
+		relay(w, status, hdr, data)
+		return
+	}
+	if status == http.StatusNotFound && bodyHasCode(data, codeUnknownSession) {
+		// The placed backend does not know the session. It may live elsewhere
+		// under an override this gateway no longer remembers; ask the fleet.
+		if owner, ok := g.probeSessionOwner(id, backend); ok {
+			if s2, d2, h2, err2 := g.doRetry(g.client, method, owner, path, body, "application/json", reqID); err2 == nil {
+				relay(w, s2, h2, d2)
+				return
+			}
+		}
+	}
+	relay(w, status, hdr, data)
+}
+
+// forwardStateless delivers one stateless request, re-placing along the ring
+// chain as backends prove unreachable (doRetry marks them down). Stateless
+// assignments are pure reads of the shared snapshot, so redelivery anywhere
+// is always safe.
+func (g *Gateway) forwardStateless(w http.ResponseWriter, method, key, path string, body []byte, reqID string) {
+	tried := make(map[string]bool)
+	var lastErr error
+	for range g.backendList() {
+		b := g.placeStateless(key)
+		if b == "" || tried[b] {
+			break
+		}
+		tried[b] = true
+		status, data, hdr, err := g.doRetry(g.client, method, b, path, body, "application/json", reqID)
+		if err == nil {
+			relay(w, status, hdr, data)
+			return
+		}
+		lastErr = fmt.Errorf("backend %s: %w", b, err)
+		if _, transient := classifyTransient(err); !transient {
+			break
+		}
+	}
+	writeError(w, http.StatusBadGateway, codeBadGateway, "no backend could serve the request: %v", lastErr)
+}
+
+// forwardStatelessHedged races a hedge request against a slow primary: if
+// the placed backend has not answered within HedgeAfter, the same request
+// launches against the next up backend in the chain and the first answer
+// wins. Only stateless traffic hedges — it is idempotent by construction.
+func (g *Gateway) forwardStatelessHedged(w http.ResponseWriter, key, path string, body []byte, reqID string) {
+	first, second := g.statelessPair(key)
+	if first == "" || second == "" {
+		g.forwardStateless(w, http.MethodPost, key, path, body, reqID)
+		return
+	}
+	type hres struct {
+		backend string
+		status  int
+		data    []byte
+		hdr     http.Header
+		err     error
+	}
+	ch := make(chan hres, 2)
+	launch := func(b string) {
+		go func() {
+			status, data, hdr, err := g.doRetry(g.client, http.MethodPost, b, path, body, "application/json", reqID)
+			ch <- hres{b, status, data, hdr, err}
+		}()
+	}
+	launch(first)
+	launched := 1
+	timer := time.NewTimer(g.cfg.HedgeAfter)
+	defer timer.Stop()
+	var failures []hres
+	for len(failures) < launched {
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				relay(w, res.status, res.hdr, res.data)
+				return
+			}
+			failures = append(failures, res)
+		case <-timer.C:
+			if launched == 1 {
+				g.hedges.Add(1)
+				launch(second)
+				launched = 2
+			}
+		}
+	}
+	writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", failures[0].backend, failures[0].err)
+}
+
+// ---- ring membership ----
+
+type ringChangeRequest struct {
+	Backend string `json:"backend"`
+}
+
+// handleRingJoin adds a backend to the ring: sessions whose placement moves
+// onto the new backend are migrated (checkpoint fetched from the current
+// holder, adopted by the joiner, deleted at the source), then the ring cuts
+// over atomically under the exclusive placement lock.
+func (g *Gateway) handleRingJoin(w http.ResponseWriter, r *http.Request) {
+	var req ringChangeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	b := strings.TrimSpace(req.Backend)
+	if b == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "join needs a backend address")
+		return
+	}
+	g.placeMu.Lock()
+	defer g.placeMu.Unlock()
+	for _, have := range g.backends {
+		if have == b {
+			writeError(w, http.StatusConflict, codeConflict, "backend %s is already a ring member", b)
+			return
+		}
+	}
+	next := hashring.New(g.cfg.Replicas)
+	next.Add(g.backends...)
+	next.Add(b)
+	moved, err := g.migrateSessionsLocked(next, func(id string) (from, to string, migrate bool) {
+		from = g.placeLocked(id)
+		to = next.Get(sessionKey(id))
+		return from, to, to == b && from != b
+	})
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeBadGateway, "join migration: %v", err)
+		return
+	}
+	g.ring = next
+	g.backends = append(g.backends, b)
+	sort.Strings(g.backends)
+	g.initBackendState(b)
+	g.broadcastFleetLocked()
+	g.log.Info("backend joined ring", "backend", b, "sessions_migrated", len(moved))
+	writeJSON(w, http.StatusOK, map[string]any{"backend": b, "migrated": moved, "members": append([]string(nil), g.backends...)})
+}
+
+// handleRingLeave removes a backend. A live leaver's sessions are migrated
+// to their new owners first (drain); a dead leaver's sessions are promoted
+// from their replicas wherever those are held. Then the ring cuts over and
+// the remaining fleet's membership view is refreshed.
+func (g *Gateway) handleRingLeave(w http.ResponseWriter, r *http.Request) {
+	var req ringChangeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	b := strings.TrimSpace(req.Backend)
+	g.placeMu.Lock()
+	defer g.placeMu.Unlock()
+	member := false
+	for _, have := range g.backends {
+		if have == b {
+			member = true
+		}
+	}
+	if !member {
+		writeError(w, http.StatusNotFound, codeBadRequest, "backend %s is not a ring member", b)
+		return
+	}
+	if len(g.backends) == 1 {
+		writeError(w, http.StatusConflict, codeConflict, "cannot remove the last backend")
+		return
+	}
+	next := hashring.New(g.cfg.Replicas)
+	for _, have := range g.backends {
+		if have != b {
+			next.Add(have)
+		}
+	}
+	var moved []string
+	var err error
+	if g.isUp(b) {
+		moved, err = g.migrateSessionsLocked(next, func(id string) (from, to string, migrate bool) {
+			from = g.placeLocked(id)
+			return from, next.Get(sessionKey(id)), from == b
+		})
+	} else {
+		moved, err = g.promoteOrphansLocked(b, next)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeBadGateway, "leave migration: %v", err)
+		return
+	}
+	g.ring = next
+	kept := g.backends[:0:0]
+	for _, have := range g.backends {
+		if have != b {
+			kept = append(kept, have)
+		}
+	}
+	g.backends = kept
+	g.dropBackendState(b)
+	for id, ob := range g.overrides {
+		if ob == b {
+			delete(g.overrides, id) // migrated/promoted above; fall back to ring
+		}
+	}
+	g.broadcastFleetLocked()
+	g.log.Info("backend left ring", "backend", b, "sessions_migrated", len(moved))
+	writeJSON(w, http.StatusOK, map[string]any{"backend": b, "migrated": moved, "members": append([]string(nil), g.backends...)})
+}
+
+// migrateSessionsLocked enumerates every resident session fleet-wide and
+// moves those the plan selects: fetch the current checkpoint from the
+// holder, adopt on the target (which bumps the ownership epoch, fencing the
+// source), delete at the source, and record the new placement against the
+// next ring. placeMu is held exclusively — routing is paused, so no
+// assignment can slip between the checkpoint fetch and the cutover.
+func (g *Gateway) migrateSessionsLocked(next *hashring.Ring, plan func(id string) (from, to string, migrate bool)) ([]string, error) {
+	moved := []string{}
+	for _, holder := range g.backends {
+		if !g.isUp(holder) {
+			continue
+		}
+		status, data, _, err := g.do(http.MethodGet, holder, "/v1/sessions", nil, "")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var inv struct {
+			Sessions []string `json:"sessions"`
+		}
+		if json.Unmarshal(data, &inv) != nil {
+			continue
+		}
+		sort.Strings(inv.Sessions)
+		for _, id := range inv.Sessions {
+			from, to, migrate := plan(id)
+			if !migrate || from != holder || to == "" || to == from {
+				continue
+			}
+			st, ckpt, _, err := g.do(http.MethodGet, from, "/v1/sessions/"+id+"/checkpoint", nil, "")
+			if err != nil || st != http.StatusOK {
+				return moved, fmt.Errorf("fetch checkpoint of %q from %s: status %d err %v", id, from, st, err)
+			}
+			st, body, _, err := g.doCT(g.client, http.MethodPost, to, "/v1/sessions/"+id+"/adopt", ckpt, "application/octet-stream", "")
+			if err != nil || st != http.StatusOK {
+				return moved, fmt.Errorf("adopt %q on %s: status %d err %v: %s", id, to, st, err, strings.TrimSpace(string(body)))
+			}
+			// The source's copy is now fenced (adopt bumped the epoch); delete
+			// it so it cannot shadow the move. Best-effort.
+			if st, _, _, err := g.do(http.MethodDelete, from, "/v1/sessions/"+id, nil, ""); err != nil || st >= 300 {
+				g.log.Warn("source session delete failed after migration", "session", id, "backend", from, "status", st, "err", err)
+			}
+			if next.Get(sessionKey(id)) == to {
+				delete(g.overrides, id)
+			} else {
+				g.overrides[id] = to
+			}
+			moved = append(moved, id)
+		}
+	}
+	return moved, nil
+}
+
+// promoteOrphansLocked recovers a dead backend's sessions during leave:
+// every replica held anywhere whose owner (under the outgoing placement)
+// was the dead backend is promoted where it lies. placeMu held exclusively.
+func (g *Gateway) promoteOrphansLocked(dead string, next *hashring.Ring) ([]string, error) {
+	moved := []string{}
+	for _, holder := range g.backends {
+		if holder == dead || !g.isUp(holder) {
+			continue
+		}
+		status, data, _, err := g.do(http.MethodGet, holder, "/v1/sessions", nil, "")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var inv struct {
+			Replicas []string `json:"replicas"`
+		}
+		if json.Unmarshal(data, &inv) != nil {
+			continue
+		}
+		sort.Strings(inv.Replicas)
+		for _, id := range inv.Replicas {
+			if g.placeLocked(id) != dead {
+				continue
+			}
+			st, body, _, err := g.do(http.MethodPost, holder, "/v1/sessions/"+id+"/promote", nil, "")
+			if err != nil || st != http.StatusOK {
+				return moved, fmt.Errorf("promote %q on %s: status %d err %v: %s", id, holder, st, err, strings.TrimSpace(string(body)))
+			}
+			if next.Get(sessionKey(id)) == holder {
+				delete(g.overrides, id)
+			} else {
+				g.overrides[id] = holder
+			}
+			g.failovers.Add(1)
+			moved = append(moved, id)
+		}
+	}
+	return moved, nil
+}
+
+// broadcastFleetLocked pushes the new membership to every up backend so
+// replica shipping re-aims at the new successors. placeMu held.
+func (g *Gateway) broadcastFleetLocked() {
+	body, _ := json.Marshal(map[string][]string{"peers": g.backends})
+	for _, b := range g.backends {
+		if !g.isUp(b) {
+			continue
+		}
+		if st, data, _, err := g.do(http.MethodPost, b, "/v1/fleet", body, ""); err != nil || st >= 300 {
+			g.log.Warn("fleet membership push failed", "backend", b, "status", st, "err", err, "body", strings.TrimSpace(string(data)))
+		}
+	}
+}

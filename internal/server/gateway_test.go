@@ -16,15 +16,32 @@ import (
 // gateway over them, returning the gateway test server, the backends, and
 // their test servers.
 func gatewayFleet(t *testing.T, n int, cfg Config) (*Gateway, *httptest.Server, []*Server, []*httptest.Server) {
+	return gatewayFleetCfg(t, n, cfg, GatewayConfig{})
+}
+
+// gatewayFleetCfg is gatewayFleet with an explicit gateway config. When the
+// backend config asks for replication, each backend gets its own state dir
+// and the fleet membership is wired up once the listener addresses are known.
+func gatewayFleetCfg(t *testing.T, n int, cfg Config, gcfg GatewayConfig) (*Gateway, *httptest.Server, []*Server, []*httptest.Server) {
 	t.Helper()
 	backends := make([]*Server, n)
 	tss := make([]*httptest.Server, n)
 	addrs := make([]string, n)
 	for i := range backends {
-		backends[i], tss[i] = newTestServer(t, cfg)
+		bc := cfg
+		if bc.Replicate && bc.StateDir == "" {
+			bc.StateDir = t.TempDir()
+		}
+		backends[i], tss[i] = newTestServer(t, bc)
 		addrs[i] = strings.TrimPrefix(tss[i].URL, "http://")
 	}
-	gw, err := NewGateway(GatewayConfig{Backends: addrs})
+	if cfg.Replicate {
+		for i := range backends {
+			backends[i].ConfigureReplication(addrs[i], addrs, gcfg.FleetSecret)
+		}
+	}
+	gcfg.Backends = addrs
+	gw, err := NewGateway(gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,32 +223,176 @@ func TestGatewayBroadcastAndAggregation(t *testing.T) {
 		t.Error("gateway metrics missing canonical v1-labeled per-endpoint request counter")
 	}
 
-	// Healthz: all up → ok; one backend down → degraded + 503, and the
-	// routed traffic for that backend fails with 502 while the other half
-	// keeps serving.
+	// Healthz: all up → ok. One backend down with NO replication anywhere →
+	// "down" + 503: its sessions are stranded until it returns. Stateless
+	// traffic still serves — rows re-place onto the survivor once the first
+	// failure marks the dead backend down.
 	hresp, hdata := get(t, gts.URL+"/healthz")
 	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hdata), `"status":"ok"`) {
 		t.Fatalf("healthz all-up: %d %s", hresp.StatusCode, hdata)
 	}
 	tss[1].Close()
 	hresp, hdata = get(t, gts.URL+"/healthz")
-	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hdata), `"status":"degraded"`) {
-		t.Fatalf("healthz with a dead backend: %d %s", hresp.StatusCode, hdata)
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hdata), `"status":"down"`) {
+		t.Fatalf("healthz with a dead unreplicated backend: %d %s", hresp.StatusCode, hdata)
 	}
-	ok502, ok200 := 0, 0
-	for _, row := range rows[:40] {
-		resp, _ := post(t, gts.URL+"/assign", map[string]any{"model": "m", "row": row})
-		switch resp.StatusCode {
-		case http.StatusOK:
-			ok200++
-		case http.StatusBadGateway:
-			ok502++
-		default:
-			t.Fatalf("assign with dead backend: %d", resp.StatusCode)
+	for i, row := range rows[:40] {
+		resp, data := post(t, gts.URL+"/assign", map[string]any{"model": "m", "row": row})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stateless assign %d with dead backend: %d %s", i, resp.StatusCode, data)
 		}
 	}
-	if ok200 == 0 || ok502 == 0 {
-		t.Fatalf("dead-backend split: %d ok / %d 502 — want both non-zero (deterministic routing, no failover)", ok200, ok502)
+	// The reroute shows up in the gateway's own counters.
+	_, mdata = get(t, gts.URL+"/metrics")
+	if !strings.Contains(string(mdata), "mcdcd_gateway_retries_total{backend=") {
+		t.Errorf("gateway metrics missing per-backend retry counter:\n%s", mdata)
+	}
+}
+
+// TestGatewaySessionFailoverByteIdentical is the robustness acceptance
+// property: in a replicated fleet, killing a session's owner mid-stream
+// loses nothing — the gateway promotes the replica, reroutes, and the
+// session's full answer stream is byte-identical to an uninterrupted
+// single-daemon run with the same checkpoint cadence. The fleet also reports
+// "degraded" (not "down", not 503) while the dead backend is covered.
+func TestGatewaySessionFailoverByteIdentical(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 61)
+	gw, gts, backends, tss := gatewayFleetCfg(t, 3, Config{Replicate: true},
+		GatewayConfig{Timeout: 2 * time.Second, RetryBackoff: 2 * time.Millisecond, FleetSecret: "hunter2"})
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The reference run: one daemon, replicate mode (same per-assignment
+	// checkpoint cadence — checkpointing rotates the session's random
+	// stream, so cadence is part of the deterministic contract), no peers.
+	solo, soloTS := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir()})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	createSession(t, gts.URL, "sf", 40, 17)
+	createSession(t, soloTS.URL, "sf", 40, 17)
+	head := feedSession(t, gts.URL, "sf", rows, 0, 60)
+	soloHead := feedSession(t, soloTS.URL, "sf", rows, 0, 60)
+	for i := range head {
+		if head[i] != soloHead[i] {
+			t.Fatalf("pre-failure arrival %d: gateway %q != solo %q", i, head[i], soloHead[i])
+		}
+	}
+
+	// Kill the owner.
+	_, data := get(t, gts.URL+"/ring?session=sf")
+	var ring struct {
+		Backend string `json:"backend"`
+	}
+	if err := json.Unmarshal(data, &ring); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	for i, ts := range tss {
+		if strings.TrimPrefix(ts.URL, "http://") == ring.Backend {
+			ts.Close()
+			backends[i].Close()
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatalf("owner %q not among fleet", ring.Backend)
+	}
+
+	// The stream continues through the gateway without a single failure, and
+	// the tail matches the uninterrupted run bit for bit.
+	tail := feedSession(t, gts.URL, "sf", rows, 60, 120)
+	soloTail := feedSession(t, soloTS.URL, "sf", rows, 60, 120)
+	for i := range tail {
+		if tail[i] != soloTail[i] {
+			t.Fatalf("post-failover arrival %d: gateway %q != solo %q", i, tail[i], soloTail[i])
+		}
+	}
+	if gw.failovers.Load() < 1 {
+		t.Fatalf("failovers counter = %d, want >= 1", gw.failovers.Load())
+	}
+
+	// Degraded, not down: the dead backend is covered by replication.
+	hresp, hdata := get(t, gts.URL+"/healthz")
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hdata), `"status":"degraded"`) {
+		t.Fatalf("healthz with covered dead backend: %d %s", hresp.StatusCode, hdata)
+	}
+	// And the failover is visible in /metrics.
+	_, mdata := get(t, gts.URL+"/metrics")
+	if !strings.Contains(string(mdata), "mcdcd_gateway_failovers_total") {
+		t.Errorf("gateway metrics missing failovers counter:\n%s", mdata)
+	}
+}
+
+// TestGatewayRingLeaveDrainsSessions exercises live membership: draining a
+// healthy backend migrates its sessions to the shrunken ring's owners and
+// the streams continue byte-identically; joining it back migrates them home.
+func TestGatewayRingLeaveJoinMigratesSessions(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 67)
+	_, gts, backends, tss := gatewayFleetCfg(t, 3, Config{Replicate: true},
+		GatewayConfig{Timeout: 2 * time.Second, RetryBackoff: 2 * time.Millisecond})
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, soloTS := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir()})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := []string{"drain-a", "drain-b", "drain-c"}
+	for _, id := range ids {
+		createSession(t, gts.URL, id, 40, int64(7+len(id)))
+		createSession(t, soloTS.URL, id, 40, int64(7+len(id)))
+	}
+	heads := make(map[string][]string)
+	for _, id := range ids {
+		heads[id] = feedSession(t, gts.URL, id, rows, 0, 30)
+		soloHead := feedSession(t, soloTS.URL, id, rows, 0, 30)
+		for i := range heads[id] {
+			if heads[id][i] != soloHead[i] {
+				t.Fatalf("session %s arrival %d diverged before drain", id, i)
+			}
+		}
+	}
+
+	// Drain backend 0 (live leave): its sessions migrate, placement cuts over.
+	leaving := strings.TrimPrefix(tss[0].URL, "http://")
+	resp, data := post(t, gts.URL+"/ring/leave", map[string]string{"backend": leaving})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ring leave: %d %s", resp.StatusCode, data)
+	}
+	if n := backends[0].sessions.count(); n != 0 {
+		t.Fatalf("drained backend still resident with %d sessions", n)
+	}
+	for _, id := range ids {
+		tail := feedSession(t, gts.URL, id, rows, 30, 60)
+		soloTail := feedSession(t, soloTS.URL, id, rows, 30, 60)
+		for i := range tail {
+			if tail[i] != soloTail[i] {
+				t.Fatalf("session %s arrival %d diverged after drain", id, i)
+			}
+		}
+	}
+
+	// Join it back: sessions whose home is the returning backend migrate
+	// there, and the streams still continue seamlessly.
+	resp, data = post(t, gts.URL+"/ring/join", map[string]string{"backend": leaving})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ring join: %d %s", resp.StatusCode, data)
+	}
+	for _, id := range ids {
+		tail := feedSession(t, gts.URL, id, rows, 60, 90)
+		soloTail := feedSession(t, soloTS.URL, id, rows, 60, 90)
+		for i := range tail {
+			if tail[i] != soloTail[i] {
+				t.Fatalf("session %s arrival %d diverged after re-join", id, i)
+			}
+		}
 	}
 }
 

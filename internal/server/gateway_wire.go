@@ -47,12 +47,24 @@ func parseWireStream(data []byte) ([]wireFrame, error) {
 	}
 }
 
+// maxWireFailoverRounds bounds how many times a failed wire sub-stream may
+// reroute before its remaining frames answer with in-band errors.
+const maxWireFailoverRounds = 3
+
 // handleAssignWire routes a pipelined binary assign stream. Each 'A' frame
 // is routed independently (session id or model+row key, exactly like a JSON
 // /assign); per-backend sub-streams fan out concurrently and the response
-// frames merge back into request order. A backend transport failure is 502;
-// a backend non-200 (e.g. an admission shed) relays verbatim in sorted
-// backend order, Retry-After included.
+// frames merge back into request order. When a backend fails transiently,
+// its frames recover per kind: stateless frames re-place along the ring
+// chain, and a session whose group held exactly one of its frames fails
+// over to a promoted replica and resends under the same request id — the
+// backend's per-session replay numbering makes the redelivered frame id
+// match, so the replay cache absorbs an ambiguous first delivery. A session
+// with several frames in the failed group cannot be resent safely (the
+// replay cache is one deep; an unknown prefix may have applied), so those
+// frames answer with in-band bad_gateway error frames instead of silently
+// double-applying. A backend non-200 (e.g. an admission shed) relays
+// verbatim in sorted backend order, Retry-After included.
 func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 	raw, ok := readBody(w, r)
 	if !ok {
@@ -68,9 +80,10 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 	// slot in the merged response — the same answer, byte for byte, the
 	// owning backend would have produced.
 	type slot struct {
-		backend string
-		reply   wireFrame // pre-filled for gateway-answered frames
-		local   bool
+		session string // "" for stateless frames
+		key     string // stateless ring key
+		reply   wireFrame
+		done    bool
 	}
 	slots := make([]slot, len(frames))
 	groups := make(map[string][]int)
@@ -82,83 +95,100 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 		modelName, session, row, derr := model.DecodeAssignRequest(f.payload)
 		switch {
 		case derr != nil:
-			slots[i] = slot{local: true, reply: wireFrame{model.FrameError, model.AppendError(nil, codeBadRequest, derr.Error())}}
+			slots[i] = slot{done: true, reply: wireFrame{model.FrameError, model.AppendError(nil, codeBadRequest, derr.Error())}}
 		case session != "":
-			b := g.ring.Get(sessionKey(session))
-			slots[i] = slot{backend: b}
+			slots[i] = slot{session: session}
+			b := g.placeSession(session)
 			groups[b] = append(groups[b], i)
 		case modelName != "":
-			b := g.ring.Get(rowKey(modelName, row))
-			slots[i] = slot{backend: b}
+			key := rowKey(modelName, row)
+			slots[i] = slot{key: key}
+			b := g.placeStateless(key)
 			groups[b] = append(groups[b], i)
 		default:
-			slots[i] = slot{local: true, reply: wireFrame{model.FrameError, model.AppendError(nil, codeBadRequest, "request names neither a model nor a session")}}
-		}
-	}
-	local := false
-	for i := range slots {
-		if slots[i].local {
-			local = true
-			break
+			slots[i] = slot{done: true, reply: wireFrame{model.FrameError, model.AppendError(nil, codeBadRequest, "request names neither a model nor a session")}}
 		}
 	}
 	reqID := reqIDOf(r)
-	if len(groups) == 1 && !local {
-		for b := range groups {
-			g.forwardWire(w, b, "/v1/assign", raw, reqID)
-			return
-		}
-	}
 
-	order := sortedKeys(groups)
-	type result struct {
-		status int
-		data   []byte
-		hdr    http.Header
-		frames []wireFrame
-		err    error
-	}
-	results := make(map[string]*result, len(order))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for _, b := range order {
-		wg.Add(1)
-		go func(b string) {
-			defer wg.Done()
-			var body bytes.Buffer
-			_ = model.WriteWireHeader(&body)
-			for _, i := range groups[b] {
-				_ = model.WriteFrame(&body, model.FrameAssign, frames[i].payload)
-			}
-			res := &result{}
-			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType, reqID)
-			if res.err == nil && res.status == http.StatusOK {
-				res.frames, res.err = parseWireStream(res.data)
-				if res.err == nil && len(res.frames) != len(groups[b]) {
-					res.err = fmt.Errorf("%d response frames for %d assigns", len(res.frames), len(groups[b]))
+	for round := 0; len(groups) > 0; round++ {
+		if round >= maxWireFailoverRounds {
+			for _, idxs := range groups {
+				for _, i := range idxs {
+					slots[i].reply = wireFrame{model.FrameError, model.AppendError(nil, codeBadGateway, "no backend could serve the frame")}
+					slots[i].done = true
 				}
 			}
-			mu.Lock()
-			results[b] = res
-			mu.Unlock()
-		}(b)
-	}
-	wg.Wait()
+			break
+		}
+		order := sortedKeys(groups)
+		type result struct {
+			status int
+			data   []byte
+			hdr    http.Header
+			frames []wireFrame
+			err    error
+		}
+		results := make(map[string]*result, len(order))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, b := range order {
+			wg.Add(1)
+			go func(b string) {
+				defer wg.Done()
+				var body bytes.Buffer
+				_ = model.WriteWireHeader(&body)
+				for _, i := range groups[b] {
+					_ = model.WriteFrame(&body, model.FrameAssign, frames[i].payload)
+				}
+				res := &result{}
+				res.status, res.data, res.hdr, res.err = g.doRetry(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType, reqID)
+				if res.err == nil && res.status == http.StatusOK {
+					res.frames, res.err = parseWireStream(res.data)
+					if res.err == nil && len(res.frames) != len(groups[b]) {
+						res.err = fmt.Errorf("%d response frames for %d assigns", len(res.frames), len(groups[b]))
+					}
+				}
+				mu.Lock()
+				results[b] = res
+				mu.Unlock()
+			}(b)
+		}
+		wg.Wait()
 
-	for _, b := range order {
-		res := results[b]
-		if res.err != nil {
-			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
-			return
+		next := make(map[string][]int)
+		for _, b := range order {
+			res := results[b]
+			if res.err != nil {
+				if _, transient := classifyTransient(res.err); !transient {
+					writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+					return
+				}
+				g.rerouteWireGroup(b, groups[b], reqID, func(i int) (session, key string) {
+					return slots[i].session, slots[i].key
+				}, func(i int, nb string) {
+					next[nb] = append(next[nb], i)
+				}, func(i int, code, msg string) {
+					slots[i].reply = wireFrame{model.FrameError, model.AppendError(nil, code, msg)}
+					slots[i].done = true
+				})
+				continue
+			}
+			if res.status != http.StatusOK {
+				relay(w, res.status, res.hdr, res.data)
+				return
+			}
+			for j, i := range groups[b] {
+				slots[i].reply = res.frames[j]
+				slots[i].done = true
+			}
 		}
-		if res.status != http.StatusOK {
-			relay(w, res.status, res.hdr, res.data)
-			return
+		for _, idxs := range next {
+			sort.Ints(idxs)
 		}
-		for j, i := range groups[b] {
-			slots[i].reply = res.frames[j]
-		}
+		groups = next
 	}
+
 	w.Header().Set("Content-Type", WireContentType)
 	bw := bufio.NewWriter(w)
 	_ = model.WriteWireHeader(bw)
@@ -166,6 +196,47 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 		_ = model.WriteFrame(bw, slots[i].reply.kind, slots[i].reply.payload)
 	}
 	_ = bw.Flush()
+}
+
+// rerouteWireGroup recovers the frames of one transiently failed wire
+// sub-stream. failed is already marked down by doRetry. For each frame:
+// stateless → re-place along the chain; a session with exactly one frame in
+// the group → promote a replica and requeue; a session with several frames →
+// in-band error (the replay cache cannot disambiguate a partial apply).
+func (g *Gateway) rerouteWireGroup(failed string, idxs []int, reqID string, info func(i int) (session, key string), requeue func(i int, backend string), fail func(i int, code, msg string)) {
+	counts := make(map[string]int)
+	for _, i := range idxs {
+		if s, _ := info(i); s != "" {
+			counts[s]++
+		}
+	}
+	promoted := make(map[string]string)
+	for _, i := range idxs {
+		session, key := info(i)
+		if session == "" {
+			nb := g.placeStateless(key)
+			if nb == "" || nb == failed {
+				fail(i, codeBadGateway, "no backend could serve the frame")
+				continue
+			}
+			requeue(i, nb)
+			continue
+		}
+		if counts[session] > 1 {
+			fail(i, codeBadGateway, fmt.Sprintf("backend %s failed mid-stream with multiple frames for session %q in flight; resend", failed, session))
+			continue
+		}
+		nb, ok := promoted[session]
+		if !ok {
+			nb, ok = g.failoverSession(session, reqID, failed)
+			if !ok {
+				fail(i, codeBadGateway, fmt.Sprintf("session %q: owner %s unreachable and no replica could be promoted", session, failed))
+				continue
+			}
+			promoted[session] = nb
+		}
+		requeue(i, nb)
+	}
 }
 
 // handleAssignBatchWire scatters a binary batch stream. Rows route by the
@@ -226,78 +297,111 @@ func (g *Gateway) handleAssignBatchWire(w http.ResponseWriter, r *http.Request) 
 	for _, c := range chunks {
 		rows = append(rows, c...)
 	}
-	groups := make(map[string][]int) // backend → flat row indices
-	for i, row := range rows {
-		b := g.ring.Get(rowKey(modelName, row))
-		groups[b] = append(groups[b], i)
-	}
 	reqID := reqIDOf(r)
-	if len(groups) <= 1 {
-		// One owner — or an empty batch, which any backend rejects the same
-		// way. Forward raw; relay raw.
-		b := g.backends[0]
-		for gb := range groups {
-			b = gb
-		}
-		g.forwardWire(w, b, "/v1/assign/batch", raw, reqID)
-		return
-	}
-
-	order := sortedKeys(groups)
-	type result struct {
-		status  int
-		data    []byte
-		hdr     http.Header
-		epoch   int
-		results []model.Assignment
-		err     error
-	}
-	resultsBy := make(map[string]*result, len(order))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for _, b := range order {
-		wg.Add(1)
-		go func(b string) {
-			defer wg.Done()
-			var body bytes.Buffer
-			_ = model.WriteWireHeader(&body)
-			_ = model.WriteFrame(&body, model.FrameBatchStart, model.AppendBatchStart(nil, modelName))
-			sub := make([][]int, 0, len(groups[b]))
-			for _, i := range groups[b] {
-				sub = append(sub, rows[i])
-			}
-			_ = model.WriteFrame(&body, model.FrameRows, model.AppendRows(nil, sub))
-			_ = model.WriteFrame(&body, model.FrameEnd, nil)
-			res := &result{}
-			res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign/batch", body.Bytes(), WireContentType, reqID)
-			if res.err == nil && res.status == http.StatusOK {
-				res.epoch, res.results, res.err = parseBatchReply(res.data, len(groups[b]))
-			}
-			mu.Lock()
-			resultsBy[b] = res
-			mu.Unlock()
-		}(b)
-	}
-	wg.Wait()
-
 	merged := make([]model.Assignment, len(rows))
-	epoch := 0
-	for oi, b := range order {
-		res := resultsBy[b]
-		if res.err != nil {
-			writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+	epoch, haveEpoch := 0, false
+	pending := make([]int, len(rows))
+	for i := range pending {
+		pending[i] = i
+	}
+	var lastErr error
+	// Rows are stateless, so a transiently failed sub-batch simply re-places
+	// (the failure marked its backend down) and retries against the rest of
+	// the fleet, exactly like the JSON batch path.
+	maxRounds := len(g.backendList()) + 1
+	for round := 0; len(pending) > 0; round++ {
+		if round >= maxRounds {
+			writeError(w, http.StatusBadGateway, codeBadGateway, "batch could not complete: %v", lastErr)
 			return
 		}
-		if res.status != http.StatusOK {
-			relay(w, res.status, res.hdr, res.data)
-			return
+		groups := make(map[string][]int) // backend → flat row indices
+		for _, i := range pending {
+			b := g.placeStateless(rowKey(modelName, rows[i]))
+			groups[b] = append(groups[b], i)
 		}
-		if oi == 0 {
-			epoch = res.epoch
+		if round == 0 && len(groups) <= 1 {
+			// One owner — or an empty batch, which any backend rejects the
+			// same way. Forward raw; relay raw. A transient failure falls
+			// through to the rerouting rounds.
+			b := g.backendList()[0]
+			for gb := range groups {
+				b = gb
+			}
+			status, data, hdr, err := g.doRetry(g.client, http.MethodPost, b, "/v1/assign/batch", raw, WireContentType, reqID)
+			if err == nil {
+				relay(w, status, hdr, data)
+				return
+			}
+			lastErr = fmt.Errorf("backend %s: %w", b, err)
+			if _, transient := classifyTransient(err); !transient || len(groups) == 0 {
+				writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, err)
+				return
+			}
+			continue
 		}
-		for j, i := range groups[b] {
-			merged[i] = res.results[j]
+
+		order := sortedKeys(groups)
+		type result struct {
+			status  int
+			data    []byte
+			hdr     http.Header
+			epoch   int
+			results []model.Assignment
+			err     error
 		}
+		resultsBy := make(map[string]*result, len(order))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, b := range order {
+			wg.Add(1)
+			go func(b string) {
+				defer wg.Done()
+				var body bytes.Buffer
+				_ = model.WriteWireHeader(&body)
+				_ = model.WriteFrame(&body, model.FrameBatchStart, model.AppendBatchStart(nil, modelName))
+				sub := make([][]int, 0, len(groups[b]))
+				for _, i := range groups[b] {
+					sub = append(sub, rows[i])
+				}
+				_ = model.WriteFrame(&body, model.FrameRows, model.AppendRows(nil, sub))
+				_ = model.WriteFrame(&body, model.FrameEnd, nil)
+				res := &result{}
+				res.status, res.data, res.hdr, res.err = g.doRetry(g.client, http.MethodPost, b, "/v1/assign/batch", body.Bytes(), WireContentType, reqID)
+				if res.err == nil && res.status == http.StatusOK {
+					res.epoch, res.results, res.err = parseBatchReply(res.data, len(groups[b]))
+				}
+				mu.Lock()
+				resultsBy[b] = res
+				mu.Unlock()
+			}(b)
+		}
+		wg.Wait()
+
+		var retry []int
+		for _, b := range order {
+			res := resultsBy[b]
+			if res.err != nil {
+				lastErr = fmt.Errorf("backend %s: %w", b, res.err)
+				if _, transient := classifyTransient(res.err); transient {
+					retry = append(retry, groups[b]...)
+					continue
+				}
+				writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", b, res.err)
+				return
+			}
+			if res.status != http.StatusOK {
+				relay(w, res.status, res.hdr, res.data)
+				return
+			}
+			if !haveEpoch {
+				epoch, haveEpoch = res.epoch, true
+			}
+			for j, i := range groups[b] {
+				merged[i] = res.results[j]
+			}
+		}
+		sort.Ints(retry)
+		pending = retry
 	}
 
 	// Re-encode along the original chunk boundaries. The codec is

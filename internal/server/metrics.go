@@ -196,6 +196,18 @@ func (m *metrics) write(w io.Writer, reg *registry, pool *sessionPool, adm *admi
 	counter("mcdcd_sessions_evicted_total", "Streaming sessions evicted by the idle TTL sweeper.", pool.evicted.Load())
 	counter("mcdcd_sessions_restored_total", "Streaming sessions paged in from checkpoints.", pool.restored.Load())
 	counter("mcdcd_session_checkpoints_total", "Session checkpoint files written.", pool.checkpoints.Load())
+	counter("mcdcd_replica_ships_total", "Session checkpoints shipped to a replica holder.", pool.shipped.Load())
+	counter("mcdcd_replica_ship_failures_total", "Checkpoint ships that failed (replica coverage gap).", pool.shipFailures.Load())
+	counter("mcdcd_replica_received_total", "Peer checkpoints accepted into the replica store.", pool.replicaRecv.Load())
+	counter("mcdcd_replica_rejected_stale_total", "Peer checkpoints rejected by ownership-epoch fencing.", pool.replicaStale.Load())
+	counter("mcdcd_sessions_promoted_total", "Replica checkpoints promoted to owned sessions.", pool.promoted.Load())
+	counter("mcdcd_sessions_adopted_total", "Sessions adopted via checkpoint migration.", pool.adopted.Load())
+	counter("mcdcd_assign_replays_total", "Session assignments answered from the idempotent replay cache.", pool.replayed.Load())
+	replicaCount := int64(0)
+	if pool.replicas != nil {
+		replicaCount = int64(pool.replicas.count())
+	}
+	gauge("mcdcd_replicas", "Peer session replicas held in the replica store.", replicaCount)
 
 	fmt.Fprintf(w, "# HELP mcdcd_assign_latency_seconds Single-assignment latency (JSON and binary paths).\n")
 	fmt.Fprintf(w, "# TYPE mcdcd_assign_latency_seconds histogram\n")

@@ -86,6 +86,14 @@ type Config struct {
 	// stream.Clusterer.Snapshot), which never perturbs the live session's
 	// subsequent output relative to a restore of that checkpoint.
 	CheckpointEvery time.Duration
+	// Replicate enables fleet replication (requires StateDir): every session
+	// assignment checkpoints before its response is written, and — once
+	// ConfigureReplication names the fleet — the checkpoint bytes ship to the
+	// session's ring successor so a warm standby can be promoted if this
+	// daemon dies. Checkpointing per assignment makes the random-stream
+	// rotation cadence deterministic, which is what keeps failover (and any
+	// reference run, which must also set Replicate) byte-identical.
+	Replicate bool
 	// SessionTTL evicts streaming sessions idle longer than this (0 = never).
 	// With StateDir the eviction spills the session to disk and the next
 	// touch pages it back in; without, eviction is deletion. Either way the
@@ -120,6 +128,9 @@ type Server struct {
 	admission *admission // nil when Config.MaxInFlight is 0
 	obs       *obs       // request ids + structured request logging
 	log       *slog.Logger
+	// fleetSecret authenticates intra-fleet endpoints (replication.go); set
+	// by ConfigureReplication, empty = open (single-trust-domain deploys).
+	fleetSecret string
 	// assigners pools per-goroutine model.Assigner scratches for the
 	// stateless assign hot path: Bind re-points a pooled scratch at the
 	// current snapshot (no allocation across hot swaps of same-shaped
@@ -166,6 +177,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.log = s.obs.log
 	s.sessions = newSessionPool(cfg.SessionShards, sessionsDir, s.log, &s.metrics.checkpoint)
+	if cfg.Replicate {
+		if cfg.StateDir == "" {
+			return nil, fmt.Errorf("server: Replicate requires a StateDir")
+		}
+		rs, err := newReplicaStore(filepath.Join(cfg.StateDir, "replicas"))
+		if err != nil {
+			return nil, fmt.Errorf("server: replica store: %w", err)
+		}
+		s.sessions.replicate = true
+		s.sessions.replicas = rs
+	}
 	s.assigners.New = func() any { return &model.Assigner{} }
 	s.routes()
 	if n := s.sessions.restoreAll(); n > 0 {
@@ -292,6 +314,16 @@ func (s *Server) routes() {
 	s.handle("POST /sessions", s.handleCreateSession)
 	s.handle("DELETE /sessions/{id}", s.handleDeleteSession)
 	s.handle("POST /checkpoint", s.handleCheckpoint)
+	// Fleet endpoints (replication.go): replica shipping, failover promotion,
+	// migration, and membership pushes. Guarded by the fleet secret when one
+	// is configured.
+	s.handle("GET /sessions", s.handleListSessions)
+	s.handle("GET /sessions/{id}/checkpoint", s.handleSessionCheckpoint)
+	s.handle("POST /sessions/{id}/promote", s.handlePromoteSession)
+	s.handle("POST /sessions/{id}/adopt", s.handleAdoptSession)
+	s.handle("POST /replica/checkpoint", s.handleReplicaCheckpoint)
+	s.handle("DELETE /replica/{id}", s.handleReplicaDelete)
+	s.handle("POST /fleet", s.handleFleet)
 }
 
 // handle registers pattern's canonical /v1 route plus the pre-versioning
@@ -413,12 +445,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds float64        `json:"uptime_seconds"`
 		Models        map[string]int `json:"models"` // name → epoch
 		Sessions      int            `json:"sessions"`
+		// Replication reports whether this daemon ships/accepts session
+		// replicas; Replicas counts the peer checkpoints it holds. The
+		// gateway's coverage probe reads these to tell "degraded but every
+		// session recoverable" from "sessions lost".
+		Replication bool `json:"replication"`
+		Replicas    int  `json:"replicas"`
 	}
 	h := health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Models:        make(map[string]int),
 		Sessions:      s.sessions.count(),
+		Replication:   s.cfg.Replicate,
+	}
+	if s.sessions.replicas != nil {
+		h.Replicas = s.sessions.replicas.count()
 	}
 	for _, sm := range s.registry.all() {
 		h.Models[sm.name] = sm.load().Epoch
@@ -494,7 +536,11 @@ func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 // the two protocols cannot drift. On failure it returns the HTTP status,
 // stable error code, and message for the front end to shape (JSON envelope
 // or in-band error frame).
-func (s *Server) assignOne(modelName, session string, row []int, emit func(assignResponse)) (int, string, error) {
+//
+// reqID, when non-empty, makes a session assignment idempotent: a retry
+// carrying the same id and row (a gateway redelivering after an ambiguous
+// failure) replays the cached response instead of applying the row twice.
+func (s *Server) assignOne(modelName, session string, row []int, reqID string, emit func(assignResponse)) (int, string, error) {
 	started := time.Now()
 	switch {
 	case modelName != "" && session != "":
@@ -530,7 +576,7 @@ func (s *Server) assignOne(modelName, session string, row []int, emit func(assig
 		emit(assignResponse{Cluster: a.Cluster, Similarity: a.Similarity, Epoch: snap.Epoch, Encoding: a.Encoding})
 		return 0, "", nil
 	case session != "":
-		a, found, err := s.sessions.assign(session, row, driftThreshold)
+		a, found, err := s.sessions.assign(session, row, driftThreshold, reqID)
 		if !found {
 			s.metrics.assignErrors.Add(1)
 			return http.StatusNotFound, codeUnknownSession, fmt.Errorf("no session %q", session)
@@ -555,7 +601,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.metrics.assignErrors.Add(1)
 		return
 	}
-	status, code, err := s.assignOne(req.Model, req.Session, req.Row, func(resp assignResponse) {
+	status, code, err := s.assignOne(req.Model, req.Session, req.Row, r.Header.Get(RequestIDHeader), func(resp assignResponse) {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	if err != nil {
@@ -651,6 +697,15 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.remove(id) {
 		writeError(w, http.StatusNotFound, codeUnknownSession, "no session %q", id)
 		return
+	}
+	// Retire the session's replica footprint: any copy held locally plus the
+	// one shipped to this daemon's successor (best-effort; the gateway also
+	// broadcasts replica deletes fleet-wide on its own delete path).
+	if s.sessions.replicas != nil {
+		s.sessions.replicas.drop(id)
+	}
+	if repl := s.sessions.repl.Load(); repl != nil {
+		repl.dropReplica(id)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -45,6 +46,21 @@ type session struct {
 	// pool (which pages a checkpointed session back in) instead of mutating
 	// an orphan whose state would silently vanish.
 	gone bool // guarded by mu
+	// dirty marks state not yet checkpointed. In replicated mode (where every
+	// assignment checkpoints before responding) a clean session is skipped by
+	// the periodic/shutdown flush — re-snapshotting it would rotate its random
+	// stream off the replicated reference trajectory.
+	dirty bool // guarded by mu
+
+	// Replication state (guarded by mu, persisted in the checkpoint):
+	// ownerEpoch is the fencing token bumped on every promotion/adoption;
+	// lastReqID/lastRow/lastA cache the last applied assignment so a gateway
+	// retry carrying the same request id replays the response instead of
+	// applying the row twice.
+	ownerEpoch int64
+	lastReqID  string
+	lastRow    []int
+	lastA      stream.Assignment
 }
 
 // sessionPool is a lock-sharded map of streaming sessions. Concurrent
@@ -63,10 +79,26 @@ type sessionPool struct {
 	log    *slog.Logger
 	ckpt   *histogram // checkpoint-write durations (nil = not recorded)
 
+	// replicate enables checkpoint-before-respond: every assignment
+	// checkpoints (and ships to the ring successor, when a replicator is
+	// configured) before its response is written. replicas holds checkpoints
+	// shipped here by peers; repl is swapped on fleet membership changes.
+	replicate bool
+	replicas  *replicaStore
+	repl      atomic.Pointer[replicator]
+
 	evicted      atomic.Int64 // sessions evicted by the TTL sweeper
 	restored     atomic.Int64 // sessions paged in from checkpoints
 	checkpoints  atomic.Int64 // checkpoint files written
 	lowSimRetire atomic.Int64 // drift counts of evicted/deleted sessions
+
+	shipped      atomic.Int64 // checkpoints shipped to a replica holder
+	shipFailures atomic.Int64 // ships that failed (coverage gap until repaired)
+	replicaRecv  atomic.Int64 // checkpoints accepted into the replica store
+	replicaStale atomic.Int64 // ships rejected by ownership-epoch fencing
+	promoted     atomic.Int64 // replicas promoted to owned sessions
+	adopted      atomic.Int64 // sessions adopted via checkpoint migration
+	replayed     atomic.Int64 // assignments answered from the replay cache
 }
 
 type sessionShard struct {
@@ -141,10 +173,27 @@ func (p *sessionPool) get(id string) (*session, bool) {
 		p.log.Warn("corrupt session checkpoint", "session", id, "path", p.path(id), "err", err)
 		return nil, false
 	}
-	s = &session{c: c, lastUse: time.Now()}
+	s = sessionFromState(c, st)
 	sh.m[id] = s
 	p.restored.Add(1)
 	return s, true
+}
+
+// sessionFromState builds the in-memory session for a restored checkpoint,
+// carrying the ownership epoch and replay cache back in so fencing and
+// retry idempotency survive restarts.
+func sessionFromState(c *stream.Clusterer, st *model.StreamState) *session {
+	return &session{
+		c: c, lastUse: time.Now(),
+		ownerEpoch: st.OwnerEpoch,
+		lastReqID:  st.LastReqID,
+		lastRow:    st.LastRow,
+		lastA: stream.Assignment{
+			Cluster:    st.LastCluster,
+			Similarity: st.LastSimilarity,
+			ModelEpoch: st.LastModelEpoch,
+		},
+	}
 }
 
 // create registers a new streaming session. It fails if the id is taken —
@@ -164,16 +213,34 @@ func (p *sessionPool) create(id string, cardinalities []int, window int, seed in
 	}
 	sh := p.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.m[id]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("server: session %q already exists", id)
 	}
 	if p.dir != "" {
 		if _, err := os.Stat(p.path(id)); err == nil {
+			sh.mu.Unlock()
 			return fmt.Errorf("server: session %q already exists (checkpointed on disk)", id)
 		}
 	}
-	sh.m[id] = &session{c: c, lastUse: time.Now()}
+	s := &session{c: c, lastUse: time.Now()}
+	sh.m[id] = s
+	sh.mu.Unlock()
+	if p.replicate && p.dir != "" {
+		// Checkpoint (and ship) the newborn session immediately, so a replica
+		// exists before the first assignment and a create survives an owner
+		// loss with zero arrivals.
+		s.mu.Lock()
+		err := p.saveLocked(id, s)
+		if err != nil {
+			s.gone = true // undo the create: an unpersistable session must not serve
+		}
+		s.mu.Unlock()
+		if err != nil {
+			p.dropIfSame(id, s)
+			return fmt.Errorf("server: checkpoint new session: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -226,14 +293,15 @@ func (p *sessionPool) dropIfSame(id string, s *session) {
 // session exists (in memory or on disk). It retries past an eviction that
 // lands between lookup and lock: the evictor checkpointed the session before
 // marking it gone, so the retry pages the up-to-date state back in and no
-// arrival is lost.
-func (p *sessionPool) assign(id string, row []int, driftThreshold float64) (stream.Assignment, bool, error) {
+// arrival is lost. A non-empty reqID makes the call idempotent: retrying the
+// same request id with the same row replays the cached response.
+func (p *sessionPool) assign(id string, row []int, driftThreshold float64, reqID string) (stream.Assignment, bool, error) {
 	for try := 0; try < 3; try++ {
 		s, ok := p.get(id)
 		if !ok {
 			return stream.Assignment{}, false, nil
 		}
-		a, gone, err := s.addRow(row, driftThreshold)
+		a, gone, err := p.addRow(id, s, row, driftThreshold, reqID)
 		if !gone {
 			return a, true, err
 		}
@@ -242,32 +310,103 @@ func (p *sessionPool) assign(id string, row []int, driftThreshold float64) (stre
 	return stream.Assignment{}, false, nil
 }
 
+// rowsEqual compares two rows element-wise.
+func rowsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // addRow feeds one row under the session mutex, tracking drift and recency.
-func (s *session) addRow(row []int, driftThreshold float64) (stream.Assignment, bool, error) {
+// In replicated mode it enforces the two fault-tolerance invariants: a
+// retried request id replays the cached response without re-applying the
+// row, and a fresh row is checkpointed (and shipped to the replica holder)
+// before the assignment is returned — so the replica can always resume from
+// the exact state that produced every delivered response.
+func (p *sessionPool) addRow(id string, s *session, row []int, driftThreshold float64, reqID string) (stream.Assignment, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.gone {
 		return stream.Assignment{}, true, nil
 	}
 	s.lastUse = time.Now()
+	if reqID != "" && reqID == s.lastReqID && rowsEqual(row, s.lastRow) {
+		p.replayed.Add(1)
+		return s.lastA, false, nil
+	}
 	a, err := s.c.Add(row)
-	if err == nil && a.Similarity < driftThreshold {
+	if err != nil {
+		return a, false, err
+	}
+	if a.Similarity < driftThreshold {
 		s.lowSim++
 	}
+	s.lastReqID = reqID
+	s.lastRow = append(s.lastRow[:0], row...)
+	s.lastA = a
+	s.dirty = true
+	if p.replicate && p.dir != "" {
+		// Checkpoint-before-respond. A local write failure is fatal for the
+		// request: answering without a durable checkpoint would let a later
+		// failover replay this row and diverge.
+		if err := p.saveLocked(id, s); err != nil {
+			return stream.Assignment{}, false, fmt.Errorf("server: checkpoint before respond: %w", err)
+		}
+	}
 	return a, false, err
+}
+
+// stateLocked snapshots a session into its persistable StreamState,
+// stamping the replication fields; the caller holds s.mu. Note Snapshot
+// rotates the session's random stream — in replicated mode this runs once
+// per assignment, making the rotation cadence itself deterministic.
+func (p *sessionPool) stateLocked(s *session) *model.StreamState {
+	st := s.c.Snapshot()
+	st.OwnerEpoch = s.ownerEpoch
+	st.LastReqID = s.lastReqID
+	st.LastRow = s.lastRow
+	st.LastCluster = s.lastA.Cluster
+	st.LastSimilarity = s.lastA.Similarity
+	st.LastModelEpoch = s.lastA.ModelEpoch
+	return st
 }
 
 // saveLocked checkpoints a session; the caller holds s.mu. Serializing every
 // file write through the session mutex keeps the checkpoint file monotone:
 // a slow periodic sweep can never overwrite the newer state an eviction just
-// flushed.
+// flushed. In replicated mode the same bytes are then shipped to the ring
+// successor; a ship failure is logged and counted but does not fail the
+// checkpoint — the local file stays authoritative and /healthz surfaces the
+// coverage gap.
 func (p *sessionPool) saveLocked(id string, s *session) error {
 	started := time.Now()
-	err := s.c.Snapshot().SaveFile(p.path(id))
-	if err == nil && p.ckpt != nil {
+	st := p.stateLocked(s)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(p.path(id), buf.Bytes()); err != nil {
+		return err
+	}
+	s.dirty = false
+	if p.ckpt != nil {
 		p.ckpt.observe(time.Since(started))
 	}
-	return err
+	if repl := p.repl.Load(); repl != nil {
+		if target, err := repl.ship(id, buf.Bytes()); err != nil {
+			p.shipFailures.Add(1)
+			p.log.Warn("replica ship failed", "session", id, "target", target, "err", err)
+		} else if target != "" {
+			p.shipped.Add(1)
+		}
+	}
+	return nil
 }
 
 // checkpointAll flushes every live session to disk and returns how many
@@ -289,7 +428,10 @@ func (p *sessionPool) checkpointAll() int {
 		sh.mu.RUnlock()
 		for i, s := range ss {
 			s.mu.Lock()
-			if !s.gone {
+			// In replicated mode every assignment already checkpointed, so a
+			// clean session is skipped: re-snapshotting would rotate its
+			// random stream off the replicated reference trajectory.
+			if !s.gone && !(p.replicate && !s.dirty) {
 				if err := p.saveLocked(ids[i], s); err != nil {
 					p.log.Warn("session checkpoint failed", "session", ids[i], "err", err)
 				} else {
@@ -331,7 +473,7 @@ func (p *sessionPool) sweep(ttl time.Duration) int {
 				s.mu.Unlock()
 				continue
 			}
-			if p.dir != "" {
+			if p.dir != "" && !(p.replicate && !s.dirty) {
 				if err := p.saveLocked(ids[i], s); err != nil {
 					p.log.Warn("eviction checkpoint failed; keeping session in memory", "session", ids[i], "err", err)
 					s.mu.Unlock()
@@ -375,6 +517,180 @@ func (p *sessionPool) restoreAll() int {
 		}
 	}
 	return n
+}
+
+// ids lists the resident session ids (live in memory; checkpointed-only
+// sessions are enumerated from disk when the pool is durable).
+func (p *sessionPool) ids() []string {
+	seen := make(map[string]struct{})
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for id, s := range sh.m {
+			s.mu.Lock()
+			gone := s.gone
+			s.mu.Unlock()
+			if !gone {
+				seen[id] = struct{}{}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if p.dir != "" {
+		if entries, err := os.ReadDir(p.dir); err == nil {
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+					continue
+				}
+				id := strings.TrimSuffix(e.Name(), checkpointExt)
+				if validateName(id) == nil {
+					seen[id] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+// residentEpoch reports the ownership epoch of a session held by this pool
+// (in memory or on disk), for fencing incoming replica ships.
+func (p *sessionPool) residentEpoch(id string) (int64, bool) {
+	s, ok := p.get(id)
+	if !ok {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return 0, false
+	}
+	return s.ownerEpoch, true
+}
+
+// checkpointBytes returns the session's current checkpoint file contents —
+// the migration source. In replicated mode the file is already current after
+// every assignment and is served as-is (a fresh snapshot would rotate the
+// random stream and break byte-identity across the migration); otherwise the
+// session is flushed first.
+func (p *sessionPool) checkpointBytes(id string) ([]byte, error) {
+	if p.dir == "" {
+		return nil, fmt.Errorf("server: no state dir; sessions are not persistable")
+	}
+	s, ok := p.get(id)
+	if ok && !p.replicate {
+		s.mu.Lock()
+		if !s.gone {
+			if err := p.saveLocked(id, s); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+		}
+		s.mu.Unlock()
+	}
+	if validateName(id) != nil {
+		return nil, fs.ErrNotExist
+	}
+	return os.ReadFile(p.path(id))
+}
+
+// promote turns this pool's replica of id into the live, owned session with
+// a bumped ownership epoch. Idempotent when the session is already resident.
+// No new snapshot is taken — the replica's StreamState is re-encoded with
+// only the epoch changed, so the promoted session resumes on exactly the
+// rotation state that produced the previous owner's last response.
+func (p *sessionPool) promote(id string) (int64, error) {
+	if e, ok := p.residentEpoch(id); ok {
+		return e, nil
+	}
+	if p.replicas == nil {
+		return 0, fs.ErrNotExist
+	}
+	data, err := p.replicas.take(id)
+	if err != nil {
+		return 0, err
+	}
+	epoch, err := p.install(id, data, true)
+	if err != nil {
+		return 0, err
+	}
+	p.promoted.Add(1)
+	return epoch, nil
+}
+
+// adopt installs a migrated session from checkpoint bytes (the ring
+// join/leave path), bumping the ownership epoch to fence the previous owner.
+// Idempotent when the session is already resident.
+func (p *sessionPool) adopt(id string, data []byte) (int64, error) {
+	if e, ok := p.residentEpoch(id); ok {
+		return e, nil
+	}
+	epoch, err := p.install(id, data, true)
+	if err != nil {
+		return 0, err
+	}
+	p.adopted.Add(1)
+	// The session moved here; any replica this pool held for it is obsolete.
+	if p.replicas != nil {
+		p.replicas.drop(id)
+	}
+	return epoch, nil
+}
+
+// install decodes checkpoint bytes, optionally bumps the ownership epoch,
+// persists the state, and registers the live session. The persisted bytes
+// are the incoming state re-encoded (never re-snapshotted).
+func (p *sessionPool) install(id string, data []byte, bumpEpoch bool) (int64, error) {
+	st, err := model.LoadStream(bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	if bumpEpoch {
+		st.OwnerEpoch++
+	}
+	c, err := stream.Restore(st)
+	if err != nil {
+		return 0, err
+	}
+	s := sessionFromState(c, st)
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if cur, ok := sh.m[id]; ok {
+		// Raced with another installer (or a page-in): keep the incumbent.
+		sh.mu.Unlock()
+		cur.mu.Lock()
+		e := cur.ownerEpoch
+		cur.mu.Unlock()
+		return e, nil
+	}
+	if p.dir != "" {
+		var buf bytes.Buffer
+		if err := st.Save(&buf); err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+		if err := writeFileAtomic(p.path(id), buf.Bytes()); err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+	}
+	sh.m[id] = s
+	sh.mu.Unlock()
+	// Give the promoted/adopted session a replica of its own right away: ship
+	// the epoch-bumped state to this node's successor.
+	if repl := p.repl.Load(); repl != nil && p.dir != "" {
+		if fileData, err := os.ReadFile(p.path(id)); err == nil {
+			if target, err := repl.ship(id, fileData); err != nil {
+				p.shipFailures.Add(1)
+				p.log.Warn("replica ship failed after install", "session", id, "target", target, "err", err)
+			} else if target != "" {
+				p.shipped.Add(1)
+			}
+		}
+	}
+	return st.OwnerEpoch, nil
 }
 
 func (p *sessionPool) count() int {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"mcdc/internal/model"
 )
@@ -69,6 +70,16 @@ func (s *Server) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 	if err := model.WriteWireHeader(&out); err != nil {
 		return
 	}
+	// Each session frame derives its own replay id from the request id, the
+	// session, and a per-session sequence number within this stream. The
+	// per-session numbering (not stream position) makes the id invariant
+	// under regrouping: a gateway that resends one session's frames to a
+	// promoted replica delivers them in the same relative order, so the ids
+	// match and the replay cache absorbs an ambiguous first delivery.
+	// Legitimate duplicate rows within one stream still apply individually —
+	// their sequence numbers differ.
+	reqID := r.Header.Get(RequestIDHeader)
+	seq := make(map[string]int)
 	var scratch []byte
 	for {
 		kind, payload, err := model.ReadFrame(br)
@@ -91,7 +102,12 @@ func (s *Server) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 			writeErrorFrame(&out, codeBadRequest, err.Error())
 			continue
 		}
-		_, code, aerr := s.assignOne(modelName, session, row, func(resp assignResponse) {
+		frameID := ""
+		if reqID != "" && session != "" {
+			frameID = reqID + "#" + session + "#" + strconv.Itoa(seq[session])
+			seq[session]++
+		}
+		_, code, aerr := s.assignOne(modelName, session, row, frameID, func(resp assignResponse) {
 			// Serialized inside emit: resp.Encoding aliases the pooled
 			// assigner scratch, valid only until assignOne returns.
 			scratch = model.AppendResult(scratch[:0], model.Assignment{
