@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -138,6 +140,139 @@ func TestChaosStatelessTrafficReroutes(t *testing.T) {
 			t.Fatalf("stateless row %d diverged:\n fleet %q\n solo  %q", i, gdata, sdata)
 		}
 	}
+}
+
+// TestHedgedStatelessSurvivesDownPrimary pins the hedged path's availability
+// floor: with hedging enabled and a row's primary backend dead, the request
+// must still answer 200 through the second backend — the hedge launches
+// immediately when the primary fails, not only when the hedge timer fires —
+// and the answer stays byte-identical to the reference daemon. (HedgeAfter is
+// set far beyond the test's runtime, so only the failure-triggered launch can
+// save these requests.)
+func TestHedgedStatelessSurvivesDownPrimary(t *testing.T) {
+	frt := testenv.NewFaultRoundTripper(nil)
+	_, gts, backends, tss := gatewayFleetCfg(t, 3, Config{}, GatewayConfig{
+		Timeout:      500 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		HedgeAfter:   time.Minute,
+		Transport:    frt,
+	})
+	snap, rows, _ := trainModel(t, 200, 6, 3, 71)
+	for _, b := range backends {
+		if err := b.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, soloTS := newTestServer(t, Config{})
+	if err := solo.AddModel("m", snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := strings.TrimPrefix(tss[1].URL, "http://")
+	rule := frt.Add(&testenv.FaultRule{Host: dead, Kind: testenv.FaultKill})
+	defer frt.Remove(rule)
+	for i := 0; i < 40; i++ {
+		body := map[string]any{"model": "m", "row": rows[i%len(rows)]}
+		gresp, gdata := post(t, gts.URL+"/assign", body)
+		if gresp.StatusCode != http.StatusOK {
+			t.Fatalf("hedged row %d: %d %s", i, gresp.StatusCode, gdata)
+		}
+		sresp, sdata := post(t, soloTS.URL+"/assign", body)
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("solo row %d: %d", i, sresp.StatusCode)
+		}
+		if string(gdata) != string(sdata) {
+			t.Fatalf("hedged row %d diverged:\n fleet %q\n solo  %q", i, gdata, sdata)
+		}
+	}
+	if frt.Injected(testenv.FaultKill) == 0 {
+		t.Fatal("no request ever placed against the dead primary; the test exercised nothing")
+	}
+}
+
+// TestAdoptReplacesStaleResident pins epoch fencing at installation time: a
+// daemon that kept an old copy of a session (SIGKILLed and rejoined with its
+// old state dir while the session moved on elsewhere) must not shadow the
+// newer incoming state when the session migrates back — and, conversely, a
+// genuinely stale incoming checkpoint must not roll a newer resident back.
+func TestAdoptReplacesStaleResident(t *testing.T) {
+	snap, rows, _ := trainModel(t, 200, 6, 3, 77)
+	a, ats := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir()})
+	b, bts := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir()})
+	solo, soloTS := newTestServer(t, Config{Replicate: true, StateDir: t.TempDir()})
+	for _, s := range []*Server{a, b, solo} {
+		if err := s.AddModel("m", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	createSession(t, ats.URL, "mv", 40, 17)
+	createSession(t, soloTS.URL, "mv", 40, 17)
+	compareTail := func(url string, from, to int) {
+		t.Helper()
+		got := feedSession(t, url, "mv", rows, from, to)
+		want := feedSession(t, soloTS.URL, "mv", rows, from, to)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("arrival %d diverged:\n got  %q\n want %q", from+i, got[i], want[i])
+			}
+		}
+	}
+	fetchCkpt := func(url string) []byte {
+		t.Helper()
+		resp, data := get(t, url+"/sessions/mv/checkpoint")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("checkpoint fetch: %d %s", resp.StatusCode, data)
+		}
+		return data
+	}
+	adopt := func(url string, ckpt []byte) int64 {
+		t.Helper()
+		resp, err := http.Post(url+"/sessions/mv/adopt", "application/octet-stream", bytes.NewReader(ckpt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("adopt: %d %s", resp.StatusCode, data)
+		}
+		var out struct {
+			Epoch int64 `json:"epoch"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Epoch
+	}
+
+	compareTail(ats.URL, 0, 10)
+
+	// Migrate mv to b (epoch 0 → 1). a's copy stays behind, live and on
+	// disk — the stale-resident hazard under test.
+	ckpt0 := fetchCkpt(ats.URL)
+	if e := adopt(bts.URL, ckpt0); e != 1 {
+		t.Fatalf("first adopt: epoch %d, want 1", e)
+	}
+	compareTail(bts.URL, 10, 20)
+
+	// Migrate back to a: the incoming epoch-2 state must replace a's stale
+	// epoch-0 resident, or the session would silently lose rows 10..20.
+	ckpt1 := fetchCkpt(bts.URL)
+	if e := adopt(ats.URL, ckpt1); e != 2 {
+		t.Fatalf("migrate-back adopt: epoch %d, want 2", e)
+	}
+	compareTail(ats.URL, 20, 30)
+
+	// A genuinely stale checkpoint (the original epoch-0 bytes) must not
+	// roll the newer resident back.
+	if e := adopt(ats.URL, ckpt0); e != 2 {
+		t.Fatalf("stale adopt: epoch %d, want resident epoch 2", e)
+	}
+	compareTail(ats.URL, 30, 40)
 }
 
 // TestReplicaPromotionBitIdenticalTail is the property test for the

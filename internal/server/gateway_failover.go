@@ -427,15 +427,34 @@ func (g *Gateway) forwardStatelessHedged(w http.ResponseWriter, key, path string
 	launched := 1
 	timer := time.NewTimer(g.cfg.HedgeAfter)
 	defer timer.Stop()
-	var failures []hres
-	for len(failures) < launched {
+	failed := 0
+	for {
 		select {
 		case res := <-ch:
 			if res.err == nil {
 				relay(w, res.status, res.hdr, res.data)
 				return
 			}
-			failures = append(failures, res)
+			if _, transient := classifyTransient(res.err); !transient {
+				writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", res.backend, res.err)
+				return
+			}
+			failed++
+			if launched == 1 {
+				// The primary died before the hedge timer fired. Launch the
+				// second backend immediately — hedged mode must never be less
+				// available than the plain chain walk.
+				launch(second)
+				launched = 2
+				continue
+			}
+			if failed == launched {
+				// Both the primary and the hedge failed transiently; fall back
+				// to the chain walk over whatever is still up (doRetry marked
+				// the failures down, so placement skips them).
+				g.forwardStateless(w, http.MethodPost, key, path, body, reqID)
+				return
+			}
 		case <-timer.C:
 			if launched == 1 {
 				g.hedges.Add(1)
@@ -444,7 +463,6 @@ func (g *Gateway) forwardStatelessHedged(w http.ResponseWriter, key, path string
 			}
 		}
 	}
-	writeError(w, http.StatusBadGateway, codeBadGateway, "backend %s: %v", failures[0].backend, failures[0].err)
 }
 
 // ---- ring membership ----

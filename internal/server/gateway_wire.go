@@ -60,11 +60,15 @@ const maxWireFailoverRounds = 3
 // over to a promoted replica and resends under the same request id — the
 // backend's per-session replay numbering makes the redelivered frame id
 // match, so the replay cache absorbs an ambiguous first delivery. A session
-// with several frames in the failed group cannot be resent safely (the
-// replay cache is one deep; an unknown prefix may have applied), so those
-// frames answer with in-band bad_gateway error frames instead of silently
-// double-applying. A backend non-200 (e.g. an admission shed) relays
-// verbatim in sorted backend order, Retry-After included.
+// with several frames in the failed group cannot be resent safely anywhere
+// — not to a replica and not to the same backend: the backend applies
+// frames as the body streams, so a severed exchange leaves an unknown
+// prefix applied, and the one-deep replay cache only covers the last frame.
+// Such sub-streams therefore get a single delivery attempt (no in-place
+// doRetry) and their multi-frame sessions answer with in-band bad_gateway
+// error frames instead of silently double-applying. A backend non-200
+// (e.g. an admission shed) relays verbatim in sorted backend order,
+// Retry-After included.
 func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 	raw, ok := readBody(w, r)
 	if !ok {
@@ -138,11 +142,35 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 				defer wg.Done()
 				var body bytes.Buffer
 				_ = model.WriteWireHeader(&body)
+				multiFrame := false
+				perSession := make(map[string]int)
 				for _, i := range groups[b] {
 					_ = model.WriteFrame(&body, model.FrameAssign, frames[i].payload)
+					if s := slots[i].session; s != "" {
+						if perSession[s]++; perSession[s] > 1 {
+							multiFrame = true
+						}
+					}
 				}
 				res := &result{}
-				res.status, res.data, res.hdr, res.err = g.doRetry(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType, reqID)
+				if multiFrame {
+					// A re-send of this sub-stream could double-apply: the
+					// backend applies frames as the body streams, a severed
+					// exchange leaves an unknown prefix applied, and the
+					// one-deep replay cache only matches the last frame id of
+					// each session. Single attempt; a transient failure marks
+					// the backend down and falls to rerouteWireGroup, which
+					// fails exactly the multi-frame sessions in-band and
+					// recovers the rest.
+					res.status, res.data, res.hdr, res.err = g.doCT(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType, reqID)
+					if res.err != nil {
+						if _, transient := classifyTransient(res.err); transient {
+							g.markDown(b)
+						}
+					}
+				} else {
+					res.status, res.data, res.hdr, res.err = g.doRetry(g.client, http.MethodPost, b, "/v1/assign", body.Bytes(), WireContentType, reqID)
+				}
 				if res.err == nil && res.status == http.StatusOK {
 					res.frames, res.err = parseWireStream(res.data)
 					if res.err == nil && len(res.frames) != len(groups[b]) {
@@ -199,7 +227,7 @@ func (g *Gateway) handleAssignWire(w http.ResponseWriter, r *http.Request) {
 }
 
 // rerouteWireGroup recovers the frames of one transiently failed wire
-// sub-stream. failed is already marked down by doRetry. For each frame:
+// sub-stream. failed is already marked down by the caller. For each frame:
 // stateless → re-place along the chain; a session with exactly one frame in
 // the group → promote a replica and requeue; a session with several frames →
 // in-band error (the replay cache cannot disambiguate a partial apply).

@@ -58,9 +58,18 @@ type replicator struct {
 	ring *hashring.Ring
 }
 
+// shipTimeout bounds one replica ship. Ships run synchronously under the
+// session mutex (checkpoint-before-respond keeps per-session ship order, so
+// a stale checkpoint can never overwrite a newer one at the receiver), which
+// makes this timeout part of every assignment's latency on that session — it
+// must stay far below the general 5s client default. A slow successor then
+// costs at most this much per assignment, and the miss is surfaced as a ship
+// failure (coverage gap in /healthz) instead of a stalled session.
+const shipTimeout = 750 * time.Millisecond
+
 func newReplicator(self string, peers []string, secret string, client *http.Client) *replicator {
 	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
+		client = &http.Client{Timeout: shipTimeout}
 	}
 	r := &replicator{self: self, secret: secret, client: client}
 	r.setMembership(peers)
@@ -378,7 +387,9 @@ func (s *Server) handleReplicaDelete(w http.ResponseWriter, r *http.Request) {
 // handlePromoteSession turns this daemon's replica of a session into the
 // live, owned session with a bumped ownership epoch — the gateway calls this
 // on the failover path after the owner stopped answering. Idempotent: if the
-// session is already resident here, the current epoch is returned.
+// session is already resident here at the same or a newer epoch, the current
+// epoch is returned; a stale resident copy (this daemon rejoined with an old
+// state dir after losing the session) is replaced by the newer replica.
 //
 // No new snapshot is taken during promotion: the replica's StreamState is
 // re-encoded with only the epoch changed, so the promoted session resumes on
@@ -408,8 +419,9 @@ func (s *Server) handlePromoteSession(w http.ResponseWriter, r *http.Request) {
 
 // handleAdoptSession installs a migrated session from checkpoint bytes in
 // the request body — the ring join/leave migration path. Like promotion it
-// bumps the ownership epoch (fencing the previous owner) and never takes a
-// fresh snapshot.
+// bumps the ownership epoch (fencing the previous owner), never takes a
+// fresh snapshot, and replaces a stale resident copy while keeping a
+// resident copy that is already at the same or a newer epoch.
 func (s *Server) handleAdoptSession(w http.ResponseWriter, r *http.Request) {
 	if !s.checkFleetSecret(w, r) {
 		return

@@ -597,20 +597,24 @@ func (p *sessionPool) checkpointBytes(id string) ([]byte, error) {
 }
 
 // promote turns this pool's replica of id into the live, owned session with
-// a bumped ownership epoch. Idempotent when the session is already resident.
-// No new snapshot is taken — the replica's StreamState is re-encoded with
-// only the epoch changed, so the promoted session resumes on exactly the
-// rotation state that produced the previous owner's last response.
+// a bumped ownership epoch. Idempotent when the session is already resident
+// at the same or a newer epoch. No new snapshot is taken — the replica's
+// StreamState is re-encoded with only the epoch changed, so the promoted
+// session resumes on exactly the rotation state that produced the previous
+// owner's last response.
 func (p *sessionPool) promote(id string) (int64, error) {
-	if e, ok := p.residentEpoch(id); ok {
-		return e, nil
+	var data []byte
+	if p.replicas != nil {
+		data, _ = p.replicas.take(id)
 	}
-	if p.replicas == nil {
+	if data == nil {
+		// No replica held: this promote can only succeed if the session is
+		// already resident — an earlier promote consumed the replica and the
+		// gateway is retrying (the idempotent path).
+		if e, ok := p.residentEpoch(id); ok {
+			return e, nil
+		}
 		return 0, fs.ErrNotExist
-	}
-	data, err := p.replicas.take(id)
-	if err != nil {
-		return 0, err
 	}
 	epoch, err := p.install(id, data, true)
 	if err != nil {
@@ -622,11 +626,9 @@ func (p *sessionPool) promote(id string) (int64, error) {
 
 // adopt installs a migrated session from checkpoint bytes (the ring
 // join/leave path), bumping the ownership epoch to fence the previous owner.
-// Idempotent when the session is already resident.
+// Idempotent when the session is already resident at the same or a newer
+// epoch; a stale resident copy (lower epoch) is replaced, never kept.
 func (p *sessionPool) adopt(id string, data []byte) (int64, error) {
-	if e, ok := p.residentEpoch(id); ok {
-		return e, nil
-	}
 	epoch, err := p.install(id, data, true)
 	if err != nil {
 		return 0, err
@@ -642,6 +644,15 @@ func (p *sessionPool) adopt(id string, data []byte) (int64, error) {
 // install decodes checkpoint bytes, optionally bumps the ownership epoch,
 // persists the state, and registers the live session. The persisted bytes
 // are the incoming state re-encoded (never re-snapshotted).
+//
+// Installation is epoch-fenced in both directions: a resident copy — live in
+// memory or checkpointed on disk — whose ownership epoch is at or above the
+// incoming (bumped) epoch wins and is kept (the idempotent-retry and
+// raced-installer path), while a resident copy at a lower epoch is stale by
+// construction (this daemon lost the session to a promotion or migration —
+// e.g. it was SIGKILLed and rejoined with its old state dir — and the
+// session moved on elsewhere) and is retired and replaced, so traffic never
+// routes to a state that would silently drop the post-failover suffix.
 func (p *sessionPool) install(id string, data []byte, bumpEpoch bool) (int64, error) {
 	st, err := model.LoadStream(bytes.NewReader(data))
 	if err != nil {
@@ -658,14 +669,29 @@ func (p *sessionPool) install(id string, data []byte, bumpEpoch bool) (int64, er
 	sh := p.shard(id)
 	sh.mu.Lock()
 	if cur, ok := sh.m[id]; ok {
-		// Raced with another installer (or a page-in): keep the incumbent.
-		sh.mu.Unlock()
 		cur.mu.Lock()
-		e := cur.ownerEpoch
+		if !cur.gone {
+			if cur.ownerEpoch >= st.OwnerEpoch {
+				e := cur.ownerEpoch
+				cur.mu.Unlock()
+				sh.mu.Unlock()
+				return e, nil
+			}
+			// Stale resident copy: the incoming epoch fences it.
+			cur.gone = true
+			p.lowSimRetire.Add(cur.lowSim)
+		}
 		cur.mu.Unlock()
-		return e, nil
+		delete(sh.m, id)
 	}
 	if p.dir != "" {
+		// An evicted or pre-restart checkpoint may also hold a newer epoch
+		// than the incoming state; compare before overwriting the file (lazy
+		// page-in resurrects the kept copy on next touch).
+		if old, err := model.LoadStreamFile(p.path(id)); err == nil && old.OwnerEpoch >= st.OwnerEpoch {
+			sh.mu.Unlock()
+			return old.OwnerEpoch, nil
+		}
 		var buf bytes.Buffer
 		if err := st.Save(&buf); err != nil {
 			sh.mu.Unlock()
