@@ -70,6 +70,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		//lint:mcdcvet-ignore sloglint fatal startup error; the slog logger is built inside run and may not exist yet
 		fmt.Fprintln(os.Stderr, "mcdcd:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,152 @@
+// Command mcdcvet is the repo's multichecker: it bundles the custom
+// analyzers under internal/analysis/passes that mechanize the standing
+// constraints in ROADMAP.md and runs them over Go package patterns.
+//
+// Usage:
+//
+//	mcdcvet [flags] [packages]
+//
+//	mcdcvet ./...                 # analyze the whole module (the CI job)
+//	mcdcvet ./internal/server     # one package
+//	mcdcvet -list                 # print the registered analyzers
+//	mcdcvet -run detrand,sloglint ./...
+//
+// mcdcvet is a standalone driver, not a `go vet -vettool` plugin: the
+// vettool protocol is implemented by x/tools' unitchecker, and this module
+// deliberately carries no external dependencies (see internal/analysis).
+// The trade is small — the driver loads and type-checks packages itself,
+// entirely from source — and the CI job builds the tool from the module, so
+// analyzer and tree can never version-skew.
+//
+// Diagnostics print as file:line:col: message (analyzer); the exit status is
+// 1 when any diagnostic survives //lint:mcdcvet-ignore suppression, 2 on
+// operational errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"mcdc/internal/analysis"
+	"mcdc/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mcdcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mcdcvet [-list] [-run names] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := registry.All()
+	if *list {
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "mcdcvet: unknown analyzer %q (see -list)\n", name)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcdcvet: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "mcdcvet: no packages matched")
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(pkgs[0].dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcdcvet: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	for _, p := range pkgs {
+		pkg, err := loader.LoadDir(p.dir, p.path)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdcvet: %v\n", err)
+			return 2
+		}
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdcvet: %v\n", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+type listedPkg struct {
+	dir, path string
+}
+
+// goList expands package patterns with the go tool — the one component the
+// driver borrows from the toolchain, so pattern semantics (./..., build
+// constraints, testdata exclusion) match go vet exactly.
+func goList(patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []listedPkg
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		dir, path, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("unexpected go list line %q", line)
+		}
+		pkgs = append(pkgs, listedPkg{dir: dir, path: path})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over fixture packages beneath a
+// testdata/src directory and checks its diagnostics against expectations
+// written in the fixtures themselves, mirroring
+// golang.org/x/tools/go/analysis/analysistest (see the package comment on
+// internal/analysis for why the upstream framework is not used directly).
+//
+// An expectation is a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Each finding reported on that line (after //lint:mcdcvet-ignore
+// suppression — so fixtures can and do test the suppression grammar) must
+// match one regexp, pairing greedily in order; unmatched expectations and
+// unexpected findings both fail the test.
+//
+// Fixture packages may import real module packages ("mcdc/internal/...") —
+// the loader resolves testdata/src first, then the module, then GOROOT — so
+// positive cases exercise the very APIs the analyzers guard.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mcdc/internal/analysis"
+)
+
+// Run loads each fixture package (an import path under testdata/src) and
+// applies the analyzer, failing t on any mismatch between reported findings
+// and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader.ExtraRoots = []string{filepath.Join(testdata, "src")}
+	for _, path := range paths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			t.Errorf("analysistest: load %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, pkg, findings)
+	}
+}
+
+// expectation is one "regexp" from a want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings ("..." or `...`).
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quoted string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Errorf("%s: unterminated want string: %s", pos, s)
+				return out
+			}
+			quoted = s[:end+1]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Errorf("%s: unterminated want string: %s", pos, s)
+				return out
+			}
+			quoted = s[:end+2]
+		default:
+			t.Errorf("%s: want expects quoted regexps, got %q", pos, s)
+			return out
+		}
+		unq, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Errorf("%s: bad want string %s: %v", pos, quoted, err)
+			return out
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(quoted):])
+	}
+	return out
+}
+
+func check(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := parseWants(t, pkg.Fset, pkg.Files)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s (%s)", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix introduces a suppression comment:
+//
+//	//lint:mcdcvet-ignore <analyzer> <reason>
+//
+// It suppresses <analyzer>'s diagnostics on its own line (trailing form) and
+// on the next line (line-above form). Ignore comments stack: a run of
+// consecutive ignore lines all cover the first non-ignore line below the
+// run, so one statement can carry suppressions for several analyzers.
+//
+// Both fields are mandatory. An ignore whose analyzer is unknown to the
+// driver, or whose reason is empty, is reported as a diagnostic itself —
+// the audit trail the suppression grammar exists for.
+const IgnorePrefix = "lint:mcdcvet-ignore"
+
+// ignore is one parsed suppression comment.
+type ignore struct {
+	name   string // analyzer name ("" if malformed)
+	reason string
+	line   int // line the comment sits on
+	pos    token.Pos
+	bad    string // non-empty: why the comment is malformed
+}
+
+// parseIgnores extracts every IgnorePrefix comment from the file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignore {
+	var out []ignore
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+IgnorePrefix)
+			if !ok {
+				continue
+			}
+			ig := ignore{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			fields := strings.Fields(text)
+			switch {
+			case len(fields) == 0:
+				ig.bad = "missing analyzer name and reason"
+			case len(fields) == 1:
+				ig.name = fields[0]
+				ig.bad = "missing reason"
+			default:
+				ig.name = fields[0]
+				ig.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, ig)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
+}
+
+// suppressor answers "is analyzer X suppressed on line L of file F?".
+type suppressor struct {
+	// covered maps file → line → set of analyzer names suppressed there.
+	covered map[string]map[int]map[string]bool
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) *suppressor {
+	s := &suppressor{covered: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		igs := parseIgnores(fset, f)
+		if len(igs) == 0 {
+			continue
+		}
+		filename := fset.Position(f.Pos()).Filename
+		lines := s.covered[filename]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			s.covered[filename] = lines
+		}
+		isIgnoreLine := make(map[int]bool, len(igs))
+		for _, ig := range igs {
+			isIgnoreLine[ig.line] = true
+		}
+		for _, ig := range igs {
+			if ig.bad != "" {
+				report(Diagnostic{Pos: ig.pos, Message: "malformed " + IgnorePrefix + " comment: " + ig.bad})
+				continue
+			}
+			if !known[ig.name] {
+				report(Diagnostic{Pos: ig.pos, Message: IgnorePrefix + " names unknown analyzer " + ig.name})
+				continue
+			}
+			cover := func(line int) {
+				if lines[line] == nil {
+					lines[line] = make(map[string]bool)
+				}
+				lines[line][ig.name] = true
+			}
+			cover(ig.line)
+			// Walk down through any stacked ignore lines to the code line
+			// the run annotates.
+			next := ig.line + 1
+			for isIgnoreLine[next] {
+				cover(next)
+				next++
+			}
+			cover(next)
+		}
+	}
+	return s
+}
+
+func (s *suppressor) suppressed(name string, pos token.Position) bool {
+	return s.covered[pos.Filename][pos.Line][name]
+}

@@ -1,0 +1,12 @@
+package bodydrain_test
+
+import (
+	"testing"
+
+	"mcdc/internal/analysis/analysistest"
+	"mcdc/internal/analysis/passes/bodydrain"
+)
+
+func TestBodydrain(t *testing.T) {
+	analysistest.Run(t, "testdata", bodydrain.Analyzer, "bodydraintest")
+}

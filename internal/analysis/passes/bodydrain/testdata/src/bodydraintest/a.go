@@ -1,0 +1,120 @@
+// Package bodydraintest exercises the bodydrain analyzer: early writes with
+// the body still streaming, the blessed accumulate-then-flush shape, and the
+// early-error-return pattern that must stay clean.
+package bodydraintest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":%q,"code":%q}`, msg, code)
+}
+
+// streamedEcho answers each line as it arrives: the bug class. The first
+// Write races the client still streaming the request.
+func streamedEcho(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReader(r.Body)
+	for {
+		line, err := br.ReadString('\n') // want `request body is read after a response write may have happened`
+		if err != nil {
+			return
+		}
+		w.Write([]byte(line)) // the write that poisons the next iteration's read
+	}
+}
+
+// headerThenDecode acks before consuming the request stream.
+func headerThenDecode(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	var v any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want `request body is read after a response write may have happened`
+}
+
+// accumulateThenFlush is the blessed shape: respond only after EOF.
+func accumulateThenFlush(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReader(r.Body)
+	var out bytes.Buffer
+	for {
+		line, err := br.ReadString('\n') // ok: all writes to out, not w
+		if err != nil {
+			break
+		}
+		out.WriteString(line)
+	}
+	w.Write(out.Bytes())
+}
+
+// earlyErrorReturn writes on a terminated branch only: the body read below
+// never follows a write on the same path.
+func earlyErrorReturn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST only")
+		return
+	}
+	var v any
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&v); err != nil { // ok
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	w.Write([]byte("ok"))
+}
+
+// drainThenRespond drains explicitly before writing.
+func drainThenRespond(w http.ResponseWriter, r *http.Request) {
+	io.Copy(io.Discard, r.Body) // ok: the drain itself
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeWithoutReturnPoisonsLaterRead forgets the return after an error
+// write, falling through into the body read.
+func writeWithoutReturnPoisonsLaterRead(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Authorization") == "" {
+		writeError(w, http.StatusForbidden, "forbidden", "no token")
+	}
+	var v any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want `request body is read after a response write may have happened`
+}
+
+// checkSecret is a guard helper: it writes a response only on the path
+// where it returns false, and every caller returns immediately on false.
+func checkSecret(w http.ResponseWriter, r *http.Request) bool {
+	if r.Header.Get("Authorization") == "" {
+		writeError(w, http.StatusForbidden, "forbidden", "no token")
+		return false
+	}
+	return true
+}
+
+// guardedThenRead is the guard idiom: the helper takes the writer but only
+// writes on the branch that terminates, so the later body read is clean.
+func guardedThenRead(w http.ResponseWriter, r *http.Request) {
+	if !checkSecret(w, r) {
+		return
+	}
+	data, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)) // ok: guard wrote only on the returned path
+	w.Write(data)
+}
+
+// guardWithoutReturn breaks the idiom: the branch does not terminate, so the
+// helper's possible write survives into the body read.
+func guardWithoutReturn(w http.ResponseWriter, r *http.Request) {
+	if !checkSecret(w, r) {
+		r.Header.Set("X-Denied", "1")
+	}
+	var v any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want `request body is read after a response write may have happened`
+}
+
+// annotated is a deliberate exception: a streaming echo endpoint.
+func annotated(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	//lint:mcdcvet-ignore bodydrain streaming echo endpoint; client reads interleaved by design
+	_, _ = io.Copy(w, r.Body)
+}

@@ -1,0 +1,13 @@
+package densematrix_test
+
+import (
+	"testing"
+
+	"mcdc/internal/analysis/analysistest"
+	"mcdc/internal/analysis/passes/densematrix"
+)
+
+func TestDensematrix(t *testing.T) {
+	analysistest.Run(t, "testdata", densematrix.Analyzer,
+		"mcdc/internal/densetest", "outsideinternal")
+}

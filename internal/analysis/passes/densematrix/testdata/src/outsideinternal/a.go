@@ -1,0 +1,7 @@
+// Package outsideinternal proves the densematrix contract scopes to
+// internal/ packages only: the public API keeps its compatibility surface.
+package outsideinternal
+
+func PairwiseSimilarity(rows [][]int) [][]float64 { // ok: not under internal/
+	return nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"mcdc/internal/analysis/analysistest"
+	"mcdc/internal/analysis/passes/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrandtest")
+}

@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"mcdc/internal/analysis/analysistest"
+	"mcdc/internal/analysis/passes/errenvelope"
+)
+
+func TestErrenvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", errenvelope.Analyzer, "mcdc/internal/server")
+}

@@ -1,0 +1,176 @@
+// Package lockorder enforces the PR 9 gateway locking discipline: the lock
+// order is placeMu → stateMu, and no network I/O ever happens while holding
+// stateMu (so counters stay readable from inside membership changes that
+// hold placeMu exclusively). The check is lexical, per function body —
+// exactly the shape the discipline demands, since both mutexes are only ever
+// acquired through their named fields.
+package lockorder
+
+import (
+	"go/ast"
+
+	"mcdc/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `flag placeMu acquisitions and network I/O under stateMu
+
+Within a region that lexically holds a field named stateMu (between
+stateMu.Lock()/RLock() and the matching Unlock, or to the end of the
+function after a deferred unlock), this pass flags (1) any acquisition of a
+field named placeMu — the documented order is placeMu → stateMu, so the
+reverse nesting is a deadlock-in-waiting — and (2) any direct call into
+http.Client/net dialing APIs — network latency under stateMu would stall
+every counter reader. Function literals are not entered: a closure or
+goroutine defined under the lock runs on its own schedule.`,
+	Run: run,
+}
+
+const (
+	stateMuName = "stateMu"
+	placeMuName = "placeMu"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanList(pass, fd.Body.List, false)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// scanList walks one statement list, tracking whether stateMu is lexically
+// held, flagging violations inside held regions, and recursing into nested
+// lists (with fresh state for function literals).
+func scanList(pass *analysis.Pass, list []ast.Stmt, held bool) {
+	for _, stmt := range list {
+		switch mutexOp(stmt) {
+		case "Lock", "RLock":
+			held = true
+			continue
+		case "Unlock", "RUnlock":
+			held = false
+			continue
+		}
+		if held {
+			inspectHeld(pass, stmt)
+		} else {
+			recurse(pass, stmt)
+		}
+	}
+}
+
+// mutexOp classifies stmt as a stateMu operation: "Lock"/"RLock"/"Unlock"/
+// "RUnlock" for plain expression statements on a stateMu field, "" otherwise.
+// A deferred unlock is deliberately "" — it keeps the region open to the end
+// of the list, which is exactly the deferred semantics.
+func mutexOp(stmt ast.Stmt) string {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	if name, ok := fieldMethod(call, stateMuName); ok {
+		return name
+	}
+	return ""
+}
+
+// fieldMethod reports the method name when call has the shape
+// <expr>.<field>.<Method>() with the given field name.
+func fieldMethod(call *ast.CallExpr, field string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name == field {
+			return sel.Sel.Name, true
+		}
+	case *ast.Ident:
+		if x.Name == field {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// recurse descends into stmt's nested statement lists with held=false
+// untouched, looking for lock regions further down.
+func recurse(pass *analysis.Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			scanList(pass, b.List, false)
+			return false
+		case *ast.FuncLit:
+			scanList(pass, b.Body.List, false)
+			return false
+		}
+		return true
+	})
+}
+
+// inspectHeld flags violations anywhere inside stmt (which executes with
+// stateMu held), without entering function literals.
+func inspectHeld(pass *analysis.Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanList(pass, lit.Body.List, false)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := fieldMethod(call, placeMuName); ok && (op == "Lock" || op == "RLock") {
+			pass.Reportf(call.Pos(), "placeMu.%s while holding stateMu inverts the documented placeMu → stateMu lock order (gateway locking discipline, PR 9)", op)
+		}
+		if name := networkCall(pass, call); name != "" {
+			pass.Reportf(call.Pos(), "%s under stateMu performs network I/O while holding the counter lock; move the call outside the critical section (gateway locking discipline, PR 9)", name)
+		}
+		return true
+	})
+}
+
+// networkCall returns a display name when call goes straight into an
+// http.Client or net dialing API, "" otherwise.
+func networkCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch analysis.PkgPathOf(fn) {
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			if analysis.IsMethod(pass.TypesInfo, call, "net/http", "Client", name) {
+				return "http.Client." + name
+			}
+			return "http." + name
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "DialTCP", "DialUDP", "DialIP", "DialUnix":
+			return "net." + name
+		case "DialContext":
+			return "net.Dialer.DialContext"
+		}
+	case "crypto/tls":
+		switch name {
+		case "Dial", "DialWithDialer", "DialContext":
+			return "tls." + name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,80 @@
+// Package lockordertest exercises the lockorder analyzer against the
+// gateway's locking shape.
+package lockordertest
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+type gateway struct {
+	placeMu sync.RWMutex
+	stateMu sync.RWMutex
+	client  *http.Client
+	members []string
+}
+
+func (g *gateway) inverted() {
+	g.stateMu.Lock()
+	g.placeMu.RLock() // want `placeMu\.RLock while holding stateMu inverts the documented placeMu → stateMu lock order`
+	g.placeMu.RUnlock()
+	g.stateMu.Unlock()
+}
+
+func (g *gateway) networkUnderStateMu(req *http.Request) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	resp, err := g.client.Do(req) // want `http\.Client\.Do under stateMu performs network I/O`
+	if err == nil {
+		resp.Body.Close()
+	}
+	if _, err := net.Dial("tcp", g.members[0]); err != nil { // want `net\.Dial under stateMu performs network I/O`
+		return
+	}
+}
+
+func (g *gateway) correctOrder(req *http.Request) {
+	g.placeMu.RLock()
+	backend := g.members[0]
+	g.placeMu.RUnlock()
+
+	resp, err := g.client.Do(req) // ok: no lock held
+	if err == nil {
+		resp.Body.Close()
+	}
+
+	g.stateMu.Lock()
+	g.members = append(g.members, backend)
+	g.stateMu.Unlock()
+
+	// placeMu → stateMu nesting is the documented direction.
+	g.placeMu.Lock()
+	g.stateMu.Lock()
+	g.stateMu.Unlock()
+	g.placeMu.Unlock()
+}
+
+func (g *gateway) unlockedRegionAfterExplicitUnlock(req *http.Request) {
+	g.stateMu.RLock()
+	n := len(g.members)
+	g.stateMu.RUnlock()
+	if n > 0 {
+		_, _ = g.client.Do(req) // ok: stateMu released above
+	}
+}
+
+func (g *gateway) goroutineUnderLockIsFine() {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	go func() {
+		_, _ = net.Dial("tcp", "x") // ok: runs after the region, on its own schedule
+	}()
+}
+
+func (g *gateway) annotated(req *http.Request) {
+	g.stateMu.Lock()
+	defer g.stateMu.Unlock()
+	//lint:mcdcvet-ignore lockorder bounded probe with a 1ms client timeout, measured under the lock on purpose
+	_, _ = g.client.Do(req)
+}

@@ -1,0 +1,108 @@
+// Package sloglint enforces the PR 8 logging contract in the serving layer:
+// structured logging flows through Config.Logger (log/slog) only. The
+// standard library's global log package, builtin print/println, and ad-hoc
+// fmt writes to os.Stderr all bypass the handler (and its levels, formats,
+// and request-id context), so they are flagged in internal/server,
+// internal/stream, and cmd/mcdcd.
+package sloglint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcdc/internal/analysis"
+)
+
+// Analyzer is the sloglint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sloglint",
+	Doc: `flag logging that bypasses Config.Logger (log/slog) in the serving layer
+
+In internal/server, internal/stream, and cmd/mcdcd every log line must go
+through the configured slog handler: the global log package (log.Printf,
+log.Fatal, log.New, ...), the print/println builtins, and fmt.Fprint* aimed
+at os.Stderr are all flagged. Writes to stdout are not logging (cmd output
+is a CLI's product surface) and are not flagged.`,
+	Run: run,
+}
+
+// scope lists the path fragments the contract covers.
+var scope = []string{"internal/server", "internal/stream", "cmd/mcdcd"}
+
+func run(pass *analysis.Pass) (any, error) {
+	inScope := false
+	for _, frag := range scope {
+		if analysis.PathWithin(pass.Pkg.Path(), frag) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Builtin print/println.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+			pass.Reportf(call.Pos(), "builtin %s bypasses Config.Logger; log through log/slog (logging contract, PR 8)", b.Name())
+			return
+		}
+	}
+
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch analysis.PkgPathOf(fn) {
+	case "log":
+		// Every package-level entry point of the global log package plumbs
+		// around the slog handler, including log.New (a second logger) and
+		// log.Default (the global one).
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			pass.Reportf(call.Pos(), "log.%s bypasses Config.Logger; log through log/slog (logging contract, PR 8)", fn.Name())
+		}
+	case "fmt":
+		if isFprint(fn.Name()) && len(call.Args) > 0 && isOSStderr(pass.TypesInfo, call.Args[0]) {
+			pass.Reportf(call.Pos(), "fmt.%s to os.Stderr bypasses Config.Logger; log through log/slog (logging contract, PR 8)", fn.Name())
+		}
+	case "io":
+		if fn.Name() == "WriteString" && len(call.Args) > 0 && isOSStderr(pass.TypesInfo, call.Args[0]) {
+			pass.Reportf(call.Pos(), "io.WriteString to os.Stderr bypasses Config.Logger; log through log/slog (logging contract, PR 8)")
+		}
+	case "os":
+		// os.Stderr.Write / os.Stderr.WriteString.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isOSStderr(pass.TypesInfo, sel.X) {
+			pass.Reportf(call.Pos(), "os.Stderr.%s bypasses Config.Logger; log through log/slog (logging contract, PR 8)", fn.Name())
+		}
+	}
+}
+
+func isFprint(name string) bool {
+	return name == "Fprint" || name == "Fprintf" || name == "Fprintln"
+}
+
+// isOSStderr reports whether expr is a reference to os.Stderr.
+func isOSStderr(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && obj.Name() == "Stderr"
+}

@@ -1,0 +1,13 @@
+package sloglint_test
+
+import (
+	"testing"
+
+	"mcdc/internal/analysis/analysistest"
+	"mcdc/internal/analysis/passes/sloglint"
+)
+
+func TestSloglint(t *testing.T) {
+	analysistest.Run(t, "testdata", sloglint.Analyzer,
+		"mcdc/internal/server", "mcdc/cmd/mcdcd", "mcdc/internal/core")
+}

@@ -1,0 +1,12 @@
+// Package mcdcd is a sloglint fixture for the daemon main package.
+package mcdcd
+
+import (
+	"fmt"
+	"os"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "mcdcd: bad flags") // want `fmt\.Fprintln to os\.Stderr bypasses Config\.Logger`
+	fmt.Println("mcdcd listening")              // ok: stdout is the CLI's product surface
+}

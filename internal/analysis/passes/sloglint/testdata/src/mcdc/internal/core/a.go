@@ -1,0 +1,14 @@
+// Package core is a sloglint fixture outside the contract's scope: the
+// training core is free to print (the experiment drivers do).
+package core
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func report() {
+	log.Printf("progress")              // ok: not a serving package
+	fmt.Fprintln(os.Stderr, "progress") // ok: not a serving package
+}

@@ -1,0 +1,29 @@
+// Package server is a sloglint fixture shadowing the real serving package
+// path: every global-log spelling must be flagged here.
+package server
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func startup(logger *slog.Logger, err error) {
+	log.Printf("starting: %v", err)           // want `log\.Printf bypasses Config\.Logger`
+	log.Println("up")                         // want `log\.Println bypasses Config\.Logger`
+	log.Fatal(err)                            // want `log\.Fatal bypasses Config\.Logger`
+	_ = log.New(os.Stderr, "", 0)             // want `log\.New bypasses Config\.Logger`
+	fmt.Fprintf(os.Stderr, "oops: %v\n", err) // want `fmt\.Fprintf to os\.Stderr bypasses Config\.Logger`
+	fmt.Fprintln(os.Stderr, "oops")           // want `fmt\.Fprintln to os\.Stderr bypasses Config\.Logger`
+	_, _ = os.Stderr.WriteString("raw\n")     // want `os\.Stderr\.WriteString bypasses Config\.Logger`
+	println("dbg")                            // want `builtin println bypasses Config\.Logger`
+	logger.Info("started", "err", err)        // ok: the contract's one true path
+	fmt.Fprintf(os.Stdout, "report\n")        // ok: stdout is product output, not logging
+	slog.Info("fallback")                     // ok: slog global still routes a Handler
+}
+
+func annotated(err error) {
+	//lint:mcdcvet-ignore sloglint panic path before any logger exists
+	log.Fatalf("config: %v", err)
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one post-suppression diagnostic, positioned and attributed.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// IgnoreAnalyzerName attributes diagnostics about the ignore comments
+// themselves (malformed, unknown analyzer). These are never suppressible.
+const IgnoreAnalyzerName = "ignorecheck"
+
+// Run applies every analyzer to the package, applies ignore-comment
+// suppression, and returns the surviving findings sorted by position. An
+// analyzer returning an error aborts the run — that is a bug in the
+// analyzer, not a finding.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	sup := newSuppressor(pkg.Fset, pkg.Files, known, func(d Diagnostic) {
+		findings = append(findings, Finding{
+			Pos:      pkg.Fset.Position(d.Pos),
+			Analyzer: IgnoreAnalyzerName,
+			Message:  d.Message,
+		})
+	})
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.suppressed(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

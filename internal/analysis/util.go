@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method a call statically invokes, or nil
+// for calls through function-typed values, type conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgPathOf returns the import path of the package declaring fn ("" for
+// builtins and method sets on universe types).
+func PkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// path.name (not a method).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	fn := Callee(info, call)
+	return fn != nil && fn.Name() == name && PkgPathOf(fn) == path &&
+		(fn.Type().(*types.Signature)).Recv() == nil
+}
+
+// IsMethod reports whether call invokes a method named name whose receiver's
+// (pointer-stripped) named type is path.typeName.
+func IsMethod(info *types.Info, call *ast.CallExpr, path, typeName, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return namedTypeIs(sig.Recv().Type(), path, typeName)
+}
+
+// namedTypeIs reports whether t (after stripping one pointer) is the named
+// type path.name.
+func namedTypeIs(t types.Type, path, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == path
+}
+
+// NamedTypeIs is the exported form of namedTypeIs for analyzers.
+func NamedTypeIs(t types.Type, path, name string) bool { return namedTypeIs(t, path, name) }
+
+// PathWithin reports whether the package import path contains the slash-
+// delimited fragment — e.g. PathWithin("mcdc/internal/server", "internal/server").
+// Matching by fragment (not equality) lets analysistest fixtures live under
+// paths like "mcdc/internal/server" while the rule stays anchored to the
+// real layout.
+func PathWithin(pkgPath, fragment string) bool {
+	if pkgPath == fragment {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, "/"+fragment) ||
+		strings.Contains(pkgPath, "/"+fragment+"/") ||
+		strings.HasPrefix(pkgPath, fragment+"/")
+}

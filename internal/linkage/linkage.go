@@ -540,7 +540,7 @@ func HammingMatrix(rows [][]int) [][]float64 {
 	return similarity.DissimilarityMatrix(rows, 0)
 }
 
-// HammingMatrixWorkers is HammingMatrix with an explicit worker bound
+// HammingMatrixWorkers is the dense shim HammingMatrix with an explicit worker bound
 // (≤ 0 → GOMAXPROCS, 1 → sequential). The result is identical at any
 // parallelism level.
 func HammingMatrixWorkers(rows [][]int, workers int) [][]float64 {

@@ -122,6 +122,7 @@ func (s *Server) admit(fn http.HandlerFunc) http.HandlerFunc {
 		case shedCanceled:
 			// The client is gone; any status is unobservable. 503 keeps the
 			// error counters honest without claiming overload.
+			//lint:mcdcvet-ignore errenvelope canceled client cannot observe a body; bare status keeps counters honest
 			w.WriteHeader(http.StatusServiceUnavailable)
 			return
 		}

@@ -605,6 +605,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	if err != nil {
+		//lint:mcdcvet-ignore errenvelope code relayed from assignOne, which draws only from the stable table
 		writeError(w, status, code, "%v", err)
 	}
 }
